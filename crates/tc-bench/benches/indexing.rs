@@ -1,0 +1,56 @@
+//! Criterion benches for TC-Tree construction and truss decomposition
+//! (the microscopic view of Table 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tc_bench::{build_dataset, Dataset};
+use tc_core::{ThemeNetwork, TrussDecomposition};
+use tc_index::TcTreeBuilder;
+use tc_txdb::Pattern;
+
+fn bench_decompose(c: &mut Criterion) {
+    let net = build_dataset(Dataset::Bk, 0.3);
+    let item = net
+        .items_in_use()
+        .into_iter()
+        .max_by_key(|&i| net.vertices_with_item(i).len())
+        .expect("network has items");
+    let theme = ThemeNetwork::induce(&net, &Pattern::singleton(item));
+
+    c.bench_function("truss_decomposition", |b| {
+        b.iter(|| black_box(TrussDecomposition::decompose(&theme).num_levels()))
+    });
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let net = build_dataset(Dataset::Bk, 0.2);
+    let mut group = c.benchmark_group("tctree_build");
+    group.sample_size(10);
+    group.bench_function("threads_1", |b| {
+        b.iter(|| {
+            black_box(
+                TcTreeBuilder {
+                    threads: 1,
+                    max_len: usize::MAX,
+                }
+                .build(&net)
+                .num_nodes(),
+            )
+        })
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| {
+            black_box(
+                TcTreeBuilder {
+                    threads: 4,
+                    max_len: usize::MAX,
+                }
+                .build(&net)
+                .num_nodes(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_tree_build);
+criterion_main!(benches);

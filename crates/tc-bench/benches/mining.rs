@@ -1,0 +1,90 @@
+//! Criterion benches for the mining pipeline: MPTD alone and the three
+//! miners end to end (the microscopic view of Figures 3-4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tc_bench::{build_dataset, Dataset};
+use tc_core::{maximal_pattern_truss, Miner, TcfaMiner, TcfiMiner, TcsMiner, ThemeNetwork};
+use tc_txdb::Pattern;
+
+/// Serial vs parallel TCFI — the level-internal fan-out (results are
+/// asserted identical in the test suite; this measures the wall-clock win).
+fn bench_parallel_tcfi(c: &mut Criterion) {
+    let net = build_dataset(Dataset::Aminer, 0.5);
+    let mut group = c.benchmark_group("tcfi_parallelism");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(TcfiMiner::default().mine(&net, 0.0).np()))
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| black_box(TcfiMiner::default().parallel(4).mine(&net, 0.0).np()))
+    });
+    group.finish();
+}
+
+fn bench_mptd(c: &mut Criterion) {
+    let net = build_dataset(Dataset::Bk, 0.3);
+    // The densest item's theme network.
+    let item = net
+        .items_in_use()
+        .into_iter()
+        .max_by_key(|&i| net.vertices_with_item(i).len())
+        .expect("network has items");
+    let theme = ThemeNetwork::induce(&net, &Pattern::singleton(item));
+
+    let mut group = c.benchmark_group("mptd");
+    group.bench_function("alpha_0", |b| {
+        b.iter(|| black_box(maximal_pattern_truss(&theme, 0.0)))
+    });
+    group.bench_function("alpha_0.5", |b| {
+        b.iter(|| black_box(maximal_pattern_truss(&theme, 0.5)))
+    });
+    group.finish();
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let net = build_dataset(Dataset::Bk, 0.2);
+    let mut group = c.benchmark_group("miners_bk_small");
+    group.sample_size(10);
+    group.bench_function("tcfi_alpha_0.3", |b| {
+        b.iter(|| black_box(TcfiMiner::default().mine(&net, 0.3).np()))
+    });
+    group.bench_function("tcfa_alpha_0.3", |b| {
+        b.iter(|| black_box(TcfaMiner::default().mine(&net, 0.3).np()))
+    });
+    group.bench_function("tcs02_alpha_0.3", |b| {
+        b.iter(|| black_box(TcsMiner::with_epsilon(0.2).mine(&net, 0.3).np()))
+    });
+    group.finish();
+}
+
+/// Ablation: the index-accelerated theme-network induction vs the paper's
+/// literal full-scan induction (Algorithm 3 line 6). Quantifies the design
+/// decision recorded in DESIGN.md §4 ("Baseline fidelity") — the shortcut
+/// the TCFA/TCS baselines are deliberately denied.
+fn bench_induction_ablation(c: &mut Criterion) {
+    let net = build_dataset(Dataset::Gw, 0.5);
+    let item = net
+        .items_in_use()
+        .into_iter()
+        .max_by_key(|&i| net.vertices_with_item(i).len())
+        .expect("network has items");
+    let p = Pattern::singleton(item);
+
+    let mut group = c.benchmark_group("theme_induction");
+    group.bench_function("index_accelerated", |b| {
+        b.iter(|| black_box(ThemeNetwork::induce(&net, &p).num_edges()))
+    });
+    group.bench_function("full_scan", |b| {
+        b.iter(|| black_box(ThemeNetwork::induce_scan(&net, &p).num_edges()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mptd,
+    bench_miners,
+    bench_induction_ablation,
+    bench_parallel_tcfi
+);
+criterion_main!(benches);

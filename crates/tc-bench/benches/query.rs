@@ -1,0 +1,39 @@
+//! Criterion benches for TC-Tree query answering (the microscopic view of
+//! Figure 5): QBA at several thresholds and QBP at several pattern lengths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_bench::{build_dataset, Dataset};
+use tc_index::{TcTree, TcTreeBuilder};
+
+fn tree() -> TcTree {
+    let net = build_dataset(Dataset::Bk, 0.3);
+    TcTreeBuilder::default().build(&net)
+}
+
+fn bench_qba(c: &mut Criterion) {
+    let tree = tree();
+    let mut group = c.benchmark_group("qba");
+    for alpha in [0.0, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            b.iter(|| black_box(tree.query_by_alpha(a).retrieved_nodes))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qbp(c: &mut Criterion) {
+    let tree = tree();
+    let mut group = c.benchmark_group("qbp");
+    for len in 1..=tree.max_depth().min(3) {
+        let pool = tree.nodes_at_depth(len);
+        let Some(&node) = pool.first() else { continue };
+        let q = tree.node(node).pattern.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &q, |b, q| {
+            b.iter(|| black_box(tree.query_by_pattern(q).retrieved_nodes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qba, bench_qbp);
+criterion_main!(benches);

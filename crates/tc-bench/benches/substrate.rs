@@ -1,0 +1,65 @@
+//! Criterion micro-benches for the substrates: bitset intersection
+//! (frequency computation), triangle counting, and pattern frequency.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tc_data::graphs::preferential_attachment;
+use tc_txdb::{Item, Pattern, TransactionDb};
+use tc_util::BitSet;
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_intersection_count");
+    for &universe in &[1_000usize, 10_000, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = BitSet::from_iter(
+            universe,
+            (0..universe / 4).map(|_| rng.gen_range(0..universe)),
+        );
+        let b = BitSet::from_iter(
+            universe,
+            (0..universe / 4).map(|_| rng.gen_range(0..universe)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(universe), &universe, |bch, _| {
+            bch.iter(|| black_box(a.intersection_count(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_count");
+    for &n in &[500usize, 2_000] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = preferential_attachment(n, 4, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(tc_graph::count_triangles(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frequency(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    // 2,000 transactions over 50 items, avg 6 items each.
+    let transactions: Vec<Vec<Item>> = (0..2_000)
+        .map(|_| {
+            (0..rng.gen_range(3..10))
+                .map(|_| Item(rng.gen_range(0..50)))
+                .collect()
+        })
+        .collect();
+    let db = TransactionDb::from_transactions(transactions);
+    let p1 = Pattern::singleton(Item(7));
+    let p2 = Pattern::new(vec![Item(7), Item(13)]);
+    let p4 = Pattern::new(vec![Item(7), Item(13), Item(21), Item(34)]);
+
+    let mut group = c.benchmark_group("pattern_frequency");
+    group.bench_function("len1", |b| b.iter(|| black_box(db.frequency(&p1))));
+    group.bench_function("len2", |b| b.iter(|| black_box(db.frequency(&p2))));
+    group.bench_function("len4", |b| b.iter(|| black_box(db.frequency(&p4))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset, bench_triangles, bench_frequency);
+criterion_main!(benches);

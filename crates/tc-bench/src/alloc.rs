@@ -1,0 +1,98 @@
+//! A counting global allocator for the Table 3 "Memory" column.
+//!
+//! Wraps the system allocator with atomic counters for live and peak bytes.
+//! Experiment binaries install it with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tc_bench::alloc::CountingAlloc = tc_bench::alloc::CountingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator wrapper that tracks live and peak heap bytes.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    fn record_alloc(size: usize) {
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        // Racy max update is fine: slight undercount beats a CAS loop on
+        // every allocation.
+        if live > PEAK.load(Ordering::Relaxed) {
+            PEAK.store(live, Ordering::Relaxed);
+        }
+    }
+
+    fn record_dealloc(size: usize) {
+        LIVE.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::record_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::record_dealloc(layout.size());
+            Self::record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now.
+pub fn current_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live heap bytes since start (or the last [`reset_peak`]).
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live size, so a subsequent
+/// [`peak_bytes`] measures one phase in isolation.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    // The allocator is only *installed* in experiment binaries, so these
+    // tests exercise the counter plumbing directly.
+    use super::*;
+
+    #[test]
+    fn counters_move() {
+        CountingAlloc::record_alloc(1000);
+        assert!(current_bytes() >= 1000);
+        assert!(peak_bytes() >= 1000);
+        CountingAlloc::record_dealloc(1000);
+    }
+
+    #[test]
+    fn reset_peak_tracks_live() {
+        CountingAlloc::record_alloc(500);
+        reset_peak();
+        let base = peak_bytes();
+        CountingAlloc::record_alloc(2000);
+        assert!(peak_bytes() >= base + 2000);
+        CountingAlloc::record_dealloc(2500);
+    }
+}

@@ -1,0 +1,40 @@
+//! Runs every experiment binary in sequence — one command to regenerate
+//! all tables and figures.
+//!
+//! Equivalent to invoking each binary yourself; accepts and forwards the
+//! shared flags (`--scale`, `--quick`, `--dataset`).
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2_stats",
+    "fig3_params",
+    "fig4_scalability",
+    "table3_indexing",
+    "fig5_query",
+    "case_study",
+    "accuracy",
+    "ablation_pruning",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+
+    for exp in EXPERIMENTS {
+        println!("\n{}", "=".repeat(72));
+        println!("== {exp}");
+        println!("{}", "=".repeat(72));
+        let path = bin_dir.join(exp);
+        let status = Command::new(&path)
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("experiment {exp} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

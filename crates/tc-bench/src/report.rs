@@ -1,0 +1,161 @@
+//! Table and series printers for experiment output.
+//!
+//! Every experiment binary prints the same rows/series the paper reports,
+//! as GitHub-flavoured markdown tables so the output can be pasted straight
+//! into EXPERIMENTS.md.
+
+/// A fixed-schema table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a markdown table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n### {}\n\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with adaptive precision (`1.23 s`, `45.6 ms`, `789 µs`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.0} ns", secs * 1e9)
+    }
+}
+
+/// Formats a count with thousands separators (`1,234,567`).
+pub fn fmt_count(n: usize) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a float with 4 significant digits.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("### Demo"));
+        assert!(r.contains("| a"));
+        assert!(r.contains("| 1"));
+        assert!(r.contains("|---"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.50 µs");
+        assert_eq!(fmt_secs(0.0000000030), "3 ns");
+    }
+
+    #[test]
+    fn fmt_count_separators() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn fmt_f64_styles() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.5), "0.5000");
+        assert!(fmt_f64(12345.0).contains('e'));
+        assert!(fmt_f64(0.00001).contains('e'));
+    }
+}

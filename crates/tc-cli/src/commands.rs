@@ -1,0 +1,442 @@
+//! Subcommand implementations for the `tc` binary.
+
+use std::path::Path;
+use tc_core::{DatabaseNetwork, Miner, TcfaMiner, TcfiMiner, TcsMiner};
+use tc_index::{TcTree, TcTreeBuilder};
+use tc_txdb::Pattern;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                options.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Flags {
+            positional,
+            options,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value '{v}'")),
+        }
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+/// `tc generate --kind K --out PATH [--scale F] [--seed N]`
+pub fn generate(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(kind) = flags.get("kind") else {
+        return fail("--kind is required (checkin|coauthor|syn|planted)");
+    };
+    let Some(out) = flags.get("out") else {
+        return fail("--out is required");
+    };
+    let scale = match flags.get_f64("scale", 1.0) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let seed = match flags.get_usize("seed", 42) {
+        Ok(s) => s as u64,
+        Err(e) => return fail(e),
+    };
+
+    let network = match kind {
+        "checkin" => {
+            let cfg = tc_data::CheckinConfig {
+                users: ((120.0 * scale) as usize).max(10),
+                groups: ((10.0 * scale) as usize).max(2),
+                seed,
+                ..tc_data::CheckinConfig::default()
+            };
+            tc_data::generate_checkin(&cfg).network
+        }
+        "coauthor" => {
+            let cfg = tc_data::CoauthorConfig {
+                groups: ((6.0 * scale) as usize).clamp(2, 64),
+                authors_per_group: ((12.0 * scale.sqrt()) as usize).max(4),
+                seed,
+                ..tc_data::CoauthorConfig::default()
+            };
+            tc_data::generate_coauthor(&cfg).network
+        }
+        "syn" => {
+            let cfg = tc_data::SynConfig {
+                vertices: ((2000.0 * scale) as usize).max(50),
+                seed,
+                ..tc_data::SynConfig::default()
+            };
+            tc_data::generate_synthetic(&cfg)
+        }
+        "planted" => {
+            let cfg = tc_data::PlantedConfig {
+                communities: ((4.0 * scale) as usize).max(2),
+                seed,
+                ..tc_data::PlantedConfig::default()
+            };
+            tc_data::generate_planted(&cfg).network
+        }
+        other => return fail(format!("unknown kind '{other}'")),
+    };
+
+    if let Err(e) = tc_data::save_network_to_path(&network, Path::new(out)) {
+        return fail(e);
+    }
+    let s = network.stats();
+    println!(
+        "wrote {out}: {} vertices, {} edges, {} transactions, {} unique items",
+        s.vertices, s.edges, s.transactions, s.items_unique
+    );
+    0
+}
+
+fn load_net(path: &str) -> Result<DatabaseNetwork, String> {
+    tc_data::load_network_from_path(Path::new(path)).map_err(|e| e.to_string())
+}
+
+/// `tc stats <net.dbnet>`
+pub fn stats(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail("usage: tc stats <net.dbnet>");
+    };
+    let net = match load_net(path) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
+    let s = net.stats();
+    println!("vertices:       {}", s.vertices);
+    println!("edges:          {}", s.edges);
+    println!("transactions:   {}", s.transactions);
+    println!("items (total):  {}", s.items_total);
+    println!("items (unique): {}", s.items_unique);
+    println!("triangles:      {}", tc_graph::count_triangles(net.graph()));
+    println!("max degree:     {}", net.graph().max_degree());
+    println!("mean degree:    {:.2}", tc_graph::mean_degree(net.graph()));
+    println!("avg clustering: {:.4}", tc_graph::average_clustering(net.graph()));
+    println!("transitivity:   {:.4}", tc_graph::transitivity(net.graph()));
+    0
+}
+
+/// `tc mine <net.dbnet> --alpha F [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]`
+pub fn mine(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail("usage: tc mine <net.dbnet> --alpha <F>");
+    };
+    let alpha = match flags.get_f64("alpha", 0.1) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let epsilon = match flags.get_f64("epsilon", 0.1) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let top = match flags.get_usize("top", 20) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let net = match load_net(path) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
+    let miner: Box<dyn Miner> = match flags.get("miner").unwrap_or("tcfi") {
+        "tcfi" => Box::new(TcfiMiner::default()),
+        "tcfa" => Box::new(TcfaMiner::default()),
+        "tcs" => Box::new(TcsMiner::with_epsilon(epsilon)),
+        other => return fail(format!("unknown miner '{other}'")),
+    };
+
+    let result = miner.mine(&net, alpha);
+    println!(
+        "{} found {} maximal pattern trusses (NV={}, NE={}) in {:.3}s ({} MPTD calls)",
+        miner.name(),
+        result.np(),
+        result.nv(),
+        result.ne(),
+        result.stats.elapsed_secs,
+        result.stats.mptd_calls
+    );
+    let mut communities = result.communities();
+    communities.sort_by_key(|c| std::cmp::Reverse((c.pattern.len(), c.num_vertices())));
+    println!("\ntop {} theme communities:", top.min(communities.len()));
+    for c in communities.iter().take(top) {
+        println!(
+            "  {}  — {} vertices, {} edges",
+            net.item_space().render(&c.pattern),
+            c.num_vertices(),
+            c.num_edges()
+        );
+    }
+    0
+}
+
+/// `tc index <net.dbnet> --out tree.tct [--threads N]`
+pub fn index(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail("usage: tc index <net.dbnet> --out <tree.tct>");
+    };
+    let Some(out) = flags.get("out") else {
+        return fail("--out is required");
+    };
+    let threads = match flags.get_usize("threads", 4) {
+        Ok(t) => t.max(1),
+        Err(e) => return fail(e),
+    };
+    let net = match load_net(path) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
+    let tree = TcTreeBuilder {
+        threads,
+        max_len: usize::MAX,
+    }
+    .build(&net);
+    if let Err(e) = tree.save_to_path(Path::new(out)) {
+        return fail(e);
+    }
+    println!(
+        "wrote {out}: {} nodes, max depth {}, alpha* = {:.4}, built in {:.3}s",
+        tree.num_nodes(),
+        tree.max_depth(),
+        tree.alpha_upper_bound(),
+        tree.stats().build_secs
+    );
+    0
+}
+
+/// `tc query <tree.tct> [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
+#[allow(clippy::too_many_lines)]
+pub fn query(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail("usage: tc query <tree.tct> [--alpha F] [--pattern items]");
+    };
+    let alpha = match flags.get_f64("alpha", 0.0) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let tree = match TcTree::load_from_path(Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    // Optional network for item-name resolution and pretty printing.
+    let net = match flags.get("network") {
+        Some(p) => match load_net(p) {
+            Ok(n) => Some(n),
+            Err(e) => return fail(e),
+        },
+        None => None,
+    };
+
+    let result = match flags.get("pattern") {
+        None => tree.query_by_alpha(alpha),
+        Some(spec) => {
+            let mut items = Vec::new();
+            for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                // Numeric id, or a name resolved through --network.
+                let item = if let Ok(id) = token.parse::<u32>() {
+                    tc_txdb::Item(id)
+                } else if let Some(net) = &net {
+                    match net.item_space().get(token) {
+                        Some(i) => i,
+                        None => return fail(format!("unknown item '{token}'")),
+                    }
+                } else {
+                    return fail(format!(
+                        "item '{token}' is not numeric; pass --network to resolve names"
+                    ));
+                };
+                items.push(item);
+            }
+            tree.query(&Pattern::new(items), alpha)
+        }
+    };
+
+    println!(
+        "retrieved {} maximal pattern trusses in {:.6}s ({} nodes visited)",
+        result.retrieved_nodes, result.elapsed_secs, result.visited_nodes
+    );
+    for t in result.trusses.iter().take(20) {
+        let rendered = match &net {
+            Some(n) => n.item_space().render(&t.pattern),
+            None => t.pattern.to_string(),
+        };
+        println!(
+            "  {rendered}: {} vertices, {} edges",
+            t.num_vertices(),
+            t.num_edges()
+        );
+    }
+    if result.trusses.len() > 20 {
+        println!("  … and {} more", result.trusses.len() - 20);
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_positional_and_options() {
+        let f = Flags::parse(&strs(&["net.dbnet", "--alpha", "0.5", "--top", "3"])).unwrap();
+        assert_eq!(f.positional, vec!["net.dbnet"]);
+        assert_eq!(f.get("alpha"), Some("0.5"));
+        assert_eq!(f.get_f64("alpha", 0.0).unwrap(), 0.5);
+        assert_eq!(f.get_usize("top", 20).unwrap(), 3);
+        assert_eq!(f.get_f64("missing", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn flags_missing_value_is_error() {
+        assert!(Flags::parse(&strs(&["--alpha"])).is_err());
+    }
+
+    #[test]
+    fn flags_bad_numeric_is_error() {
+        let f = Flags::parse(&strs(&["--alpha", "abc"])).unwrap();
+        assert!(f.get_f64("alpha", 0.0).is_err());
+        assert!(f.get_usize("alpha", 0).is_err());
+    }
+
+    #[test]
+    fn flags_last_occurrence_wins() {
+        let f = Flags::parse(&strs(&["--alpha", "0.1", "--alpha", "0.9"])).unwrap();
+        assert_eq!(f.get("alpha"), Some("0.9"));
+    }
+
+    #[test]
+    fn generate_requires_kind_and_out() {
+        assert_eq!(generate(&strs(&["--out", "/tmp/x.dbnet"])), 2);
+        assert_eq!(generate(&strs(&["--kind", "checkin"])), 2);
+        assert_eq!(generate(&strs(&["--kind", "nope", "--out", "/tmp/x.dbnet"])), 2);
+    }
+
+    #[test]
+    fn full_cli_pipeline_in_process() {
+        let dir = std::env::temp_dir().join("tc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("cli.dbnet");
+        let tree = dir.join("cli.tct");
+        let net_s = net.to_string_lossy().to_string();
+        let tree_s = tree.to_string_lossy().to_string();
+
+        assert_eq!(
+            generate(&strs(&[
+                "--kind", "coauthor", "--out", &net_s, "--scale", "0.5", "--seed", "3"
+            ])),
+            0
+        );
+        assert_eq!(stats(std::slice::from_ref(&net_s)), 0);
+        assert_eq!(mine(&strs(&[&net_s, "--alpha", "0.1", "--top", "3"])), 0);
+        assert_eq!(
+            mine(&strs(&[&net_s, "--alpha", "0.1", "--miner", "tcfa"])),
+            0
+        );
+        assert_eq!(
+            mine(&strs(&[&net_s, "--alpha", "0.1", "--miner", "tcs", "--epsilon", "0.2"])),
+            0
+        );
+        assert_eq!(index(&strs(&[&net_s, "--out", &tree_s, "--threads", "2"])), 0);
+        assert_eq!(query(&strs(&[&tree_s, "--alpha", "0.2"])), 0);
+        assert_eq!(
+            query(&strs(&[&tree_s, "--alpha", "0.0", "--pattern", "0,1", "--network", &net_s])),
+            0
+        );
+        // Named pattern resolution needs --network.
+        assert_eq!(
+            query(&strs(&[&tree_s, "--pattern", "data mining", "--network", &net_s])),
+            0
+        );
+        assert_eq!(query(&strs(&[&tree_s, "--pattern", "data mining"])), 2);
+        // Unknown item name.
+        assert_eq!(
+            query(&strs(&[&tree_s, "--pattern", "zzz", "--network", &net_s])),
+            2
+        );
+
+        std::fs::remove_file(&net).ok();
+        std::fs::remove_file(&tree).ok();
+    }
+
+    #[test]
+    fn missing_files_fail_cleanly() {
+        assert_eq!(stats(&strs(&["/nonexistent/net.dbnet"])), 2);
+        assert_eq!(mine(&strs(&["/nonexistent/net.dbnet"])), 2);
+        assert_eq!(index(&strs(&["/nonexistent/net.dbnet", "--out", "/tmp/t.tct"])), 2);
+        assert_eq!(query(&strs(&["/nonexistent/tree.tct"])), 2);
+        assert_eq!(mine(&strs(&[])), 2);
+    }
+
+    #[test]
+    fn unknown_miner_rejected() {
+        let dir = std::env::temp_dir().join("tc_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("m.dbnet");
+        let net_s = net.to_string_lossy().to_string();
+        assert_eq!(
+            generate(&strs(&["--kind", "planted", "--out", &net_s])),
+            0
+        );
+        assert_eq!(mine(&strs(&[&net_s, "--miner", "bogus"])), 2);
+        std::fs::remove_file(&net).ok();
+    }
+}

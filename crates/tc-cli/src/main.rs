@@ -1,0 +1,52 @@
+//! `tc` — the theme-communities command line tool.
+//!
+//! ```text
+//! tc generate --kind checkin|coauthor|syn|planted --out net.dbnet [--scale F] [--seed N]
+//! tc stats   <net.dbnet>
+//! tc mine    <net.dbnet> --alpha F [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
+//! tc index   <net.dbnet> --out tree.tct [--threads N]
+//! tc query   <tree.tct> [--alpha F] [--pattern i1,i2,…] [--network net.dbnet]
+//! ```
+
+mod commands;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args[1..]),
+        Some("stats") => commands::stats(&args[1..]),
+        Some("mine") => commands::mine(&args[1..]),
+        Some("index") => commands::index(&args[1..]),
+        Some("query") => commands::query(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "tc — theme communities from database networks (VLDB 2019)
+
+USAGE:
+  tc generate --kind <checkin|coauthor|syn|planted> --out <net.dbnet> [--scale F] [--seed N]
+  tc stats    <net.dbnet>
+  tc mine     <net.dbnet> --alpha <F> [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
+  tc index    <net.dbnet> --out <tree.tct> [--threads N]
+  tc query    <tree.tct> [--alpha F] [--pattern items] [--network net.dbnet]
+
+EXAMPLES:
+  tc generate --kind coauthor --out aminer.dbnet
+  tc mine aminer.dbnet --alpha 0.1 --top 10
+  tc index aminer.dbnet --out aminer.tct
+  tc query aminer.tct --alpha 0.2
+  tc query aminer.tct --pattern 'data mining,sequential pattern' --network aminer.dbnet"
+    );
+}

@@ -1,0 +1,300 @@
+//! Maximal pattern truss decomposition — §6.1 (Theorem 6.1, Equation 1).
+//!
+//! Theorem 6.1: `C*_p(α)` only shrinks when `α` crosses the minimum edge
+//! cohesion `β` of the current truss. The decomposition therefore peels
+//! `C*_p(0)` with the ascending threshold sequence
+//! `α_0 = 0, α_k = min eco of C*_p(α_{k-1})`, recording at each step the
+//! *removed set* `R_p(α_k) = E*_p(α_{k-1}) \ E*_p(α_k)`. The resulting list
+//! `L_p = (α_1, R_p(α_1)), …, (α_h, R_p(α_h))` stores exactly the edges of
+//! `C*_p(0)` once each, and reconstructs any threshold via Equation 1:
+//! `E*_p(α) = ∪_{α_k > α} R_p(α_k)`.
+
+use crate::peel::PeelState;
+use crate::theme::ThemeNetwork;
+use crate::truss::PatternTruss;
+use tc_graph::EdgeKey;
+use tc_txdb::Pattern;
+use tc_util::{float, HeapSize};
+
+/// One node of the linked list `L_p`: the threshold `α_k` and the edges
+/// removed when the truss shrinks past it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrussLevel {
+    /// `α_k` — the minimum edge cohesion of `C*_p(α_{k-1})`. The edges of
+    /// this level belong to `C*_p(α)` exactly for `α < α_k`.
+    pub alpha: f64,
+    /// `R_p(α_k)`, canonical global keys, sorted.
+    pub edges: Vec<EdgeKey>,
+}
+
+/// The decomposition `L_p` of a maximal pattern truss `C*_p(0)`.
+///
+/// Stored in every TC-Tree node (§6.2); answers
+/// [`TrussDecomposition::truss_at`] queries by Equation 1 and exposes the
+/// nontrivial threshold range `[0, α*_p)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrussDecomposition {
+    /// The pattern `p`.
+    pub pattern: Pattern,
+    /// Levels in strictly ascending `alpha` order.
+    pub levels: Vec<TrussLevel>,
+}
+
+impl TrussDecomposition {
+    /// Decomposes the maximal pattern truss of `theme` at `α = 0`.
+    ///
+    /// Returns an empty decomposition when `C*_p(0) = ∅` (the pattern is
+    /// unqualified and, per Proposition 5.2, so is every super-pattern).
+    pub fn decompose(theme: &ThemeNetwork) -> TrussDecomposition {
+        let mut levels = Vec::new();
+        if !theme.is_trivial() {
+            let mut state = PeelState::new(theme);
+            // Edge ids are stable; precompute their global keys so the
+            // peel closure needs no access to `state`.
+            let globals: Vec<EdgeKey> = (0..state.num_edges() as u32)
+                .map(|id| theme.global_edge(state.endpoints(id)))
+                .collect();
+
+            // Establish C*_p(0): peel at α = 0, discarding those edges —
+            // they are not part of the decomposition (L_p stores exactly
+            // |E*_p(0)| edges).
+            state.peel(0.0, |_| {});
+
+            while state.alive_edges() > 0 {
+                let beta = state
+                    .min_alive_cohesion()
+                    .expect("alive edges have cohesions");
+                let mut removed = Vec::new();
+                state.peel(beta, |id| removed.push(globals[id as usize]));
+                removed.sort_unstable();
+                debug_assert!(!removed.is_empty(), "a level must remove the β edge");
+                levels.push(TrussLevel {
+                    alpha: beta,
+                    edges: removed,
+                });
+            }
+        }
+        TrussDecomposition {
+            pattern: theme.pattern().clone(),
+            levels,
+        }
+    }
+
+    /// `true` when `C*_p(0) = ∅`.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Number of decomposition levels `h`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total edges stored — equals `|E*_p(0)|`.
+    pub fn num_edges(&self) -> usize {
+        self.levels.iter().map(|l| l.edges.len()).sum()
+    }
+
+    /// `α*_p = max A_p`: the upper bound of the nontrivial threshold range.
+    /// `C*_p(α) = ∅` for every `α ≥ α*_p`; `None` when already empty.
+    pub fn max_alpha(&self) -> Option<f64> {
+        self.levels.last().map(|l| l.alpha)
+    }
+
+    /// Equation 1: reconstructs `E*_p(α) = ∪_{α_k > α} R_p(α_k)`, sorted.
+    pub fn edges_at(&self, alpha: f64) -> Vec<EdgeKey> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            if float::gt_eps(level.alpha, alpha) {
+                out.extend_from_slice(&level.edges);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Reconstructs the full [`PatternTruss`] at `alpha` (possibly empty).
+    pub fn truss_at(&self, alpha: f64) -> PatternTruss {
+        PatternTruss::from_edges(self.pattern.clone(), alpha, self.edges_at(alpha))
+    }
+}
+
+impl HeapSize for TrussDecomposition {
+    fn heap_size(&self) -> usize {
+        self.pattern.heap_size()
+            + self
+                .levels
+                .iter()
+                .map(|l| l.edges.capacity() * std::mem::size_of::<EdgeKey>())
+                .sum::<usize>()
+            + self.levels.capacity() * std::mem::size_of::<TrussLevel>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mptd::maximal_pattern_truss;
+    use crate::network::{DatabaseNetwork, DatabaseNetworkBuilder};
+
+    /// A network whose theme "p" has three cohesion tiers: an inner K4 of
+    /// high-frequency vertices, a middle triangle, and a weak triangle.
+    fn tiered() -> (DatabaseNetwork, Pattern) {
+        let mut b = DatabaseNetworkBuilder::new();
+        let p = b.intern_item("p");
+        let q = b.intern_item("q");
+        let add_with_freq = |b: &mut DatabaseNetworkBuilder, v: u32, tenths: u32| {
+            for _ in 0..tenths {
+                b.add_transaction(v, &[p]);
+            }
+            for _ in 0..(10 - tenths) {
+                b.add_transaction(v, &[q]);
+            }
+        };
+        // K4 on 0..4 with f = 1.0.
+        for v in 0..4 {
+            add_with_freq(&mut b, v, 10);
+        }
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        // Triangle 4-5-6 with f = 0.5.
+        for v in 4..7 {
+            add_with_freq(&mut b, v, 5);
+        }
+        b.add_edge(4, 5).add_edge(5, 6).add_edge(4, 6);
+        // Weak triangle 7-8-9 with f = 0.1.
+        for v in 7..10 {
+            add_with_freq(&mut b, v, 1);
+        }
+        b.add_edge(7, 8).add_edge(8, 9).add_edge(7, 9);
+        // Bridges (no triangles, die at α = 0).
+        b.add_edge(3, 4).add_edge(6, 7);
+        let net = b.build().unwrap();
+        let pat = Pattern::singleton(net.item_space().get("p").unwrap());
+        (net, pat)
+    }
+
+    #[test]
+    fn levels_strictly_ascending() {
+        let (net, pat) = tiered();
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        assert!(!d.is_empty());
+        for w in d.levels.windows(2) {
+            assert!(
+                w[0].alpha < w[1].alpha,
+                "levels must strictly ascend: {} vs {}",
+                w[0].alpha,
+                w[1].alpha
+            );
+        }
+    }
+
+    #[test]
+    fn stores_exactly_the_alpha0_truss() {
+        let (net, pat) = tiered();
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        let direct = maximal_pattern_truss(&theme, 0.0);
+        assert_eq!(d.num_edges(), direct.num_edges());
+        assert_eq!(d.edges_at(0.0), direct.edges);
+    }
+
+    #[test]
+    fn levels_are_disjoint() {
+        let (net, pat) = tiered();
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        let mut seen = std::collections::HashSet::new();
+        for level in &d.levels {
+            for e in &level.edges {
+                assert!(seen.insert(*e), "edge {e:?} stored twice");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_direct_mptd_at_all_levels() {
+        // Equation 1 vs a fresh MPTD run, at each level boundary and between.
+        let (net, pat) = tiered();
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        let mut probes = vec![0.0, 0.05];
+        for level in &d.levels {
+            probes.push(level.alpha - 1e-4);
+            probes.push(level.alpha);
+            probes.push(level.alpha + 1e-4);
+        }
+        for alpha in probes {
+            if alpha < 0.0 {
+                continue;
+            }
+            let direct = maximal_pattern_truss(&theme, alpha);
+            assert_eq!(
+                d.edges_at(alpha),
+                direct.edges,
+                "reconstruction mismatch at alpha = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_alpha_is_emptiness_bound() {
+        let (net, pat) = tiered();
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        let a_star = d.max_alpha().unwrap();
+        assert!(d.edges_at(a_star).is_empty(), "empty at α*");
+        assert!(
+            !d.edges_at(a_star - 1e-6).is_empty(),
+            "nonempty just below α*"
+        );
+        let direct = maximal_pattern_truss(&theme, a_star);
+        assert!(direct.is_empty());
+    }
+
+    #[test]
+    fn theorem_6_1_shrinkage() {
+        // C*_p(α2) ⊂ C*_p(α1) strictly when α2 ≥ β (min cohesion).
+        let (net, pat) = tiered();
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        let t0 = d.truss_at(0.0);
+        let beta = d.levels[0].alpha;
+        let t1 = d.truss_at(beta);
+        assert!(t1.num_edges() < t0.num_edges(), "strict shrink at β");
+        assert!(t1.is_subgraph_of(&t0));
+    }
+
+    #[test]
+    fn empty_theme_decomposes_to_empty() {
+        let (net, _) = tiered();
+        let ghost = Pattern::singleton(tc_txdb::Item(999));
+        let theme = ThemeNetwork::induce(&net, &ghost);
+        let d = TrussDecomposition::decompose(&theme);
+        assert!(d.is_empty());
+        assert_eq!(d.max_alpha(), None);
+        assert!(d.edges_at(0.0).is_empty());
+        assert!(d.truss_at(0.0).is_empty());
+    }
+
+    #[test]
+    fn truss_with_no_surviving_edges_at_zero() {
+        // A pure path: every edge dies at α = 0, so L_p is empty even though
+        // the theme network has edges.
+        let mut b = DatabaseNetworkBuilder::new();
+        let p = b.intern_item("p");
+        for v in 0..3u32 {
+            b.add_transaction(v, &[p]);
+        }
+        b.add_edge(0, 1).add_edge(1, 2);
+        let net = b.build().unwrap();
+        let pat = Pattern::singleton(net.item_space().get("p").unwrap());
+        let theme = ThemeNetwork::induce(&net, &pat);
+        let d = TrussDecomposition::decompose(&theme);
+        assert!(d.is_empty());
+    }
+}

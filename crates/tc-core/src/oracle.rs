@@ -1,0 +1,193 @@
+//! Brute-force reference implementations used as test oracles.
+//!
+//! Everything here recomputes from definitions (quadratic or worse) with no
+//! shared code with the optimised paths — deliberately, so agreement is
+//! meaningful evidence of correctness.
+
+use crate::network::DatabaseNetwork;
+use crate::theme::ThemeNetwork;
+use tc_graph::{EdgeKey, VertexId};
+use tc_txdb::Pattern;
+use tc_util::{float, FxHashMap};
+
+/// Edge cohesions (Definition 3.1) of every edge in `edges`, computed from
+/// scratch within the subgraph spanned by `edges` alone.
+pub fn cohesions_of_edge_set(
+    network: &DatabaseNetwork,
+    pattern: &Pattern,
+    edges: &[EdgeKey],
+) -> FxHashMap<EdgeKey, f64> {
+    let mut freq: FxHashMap<VertexId, f64> = FxHashMap::default();
+    let mut adj: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+        for w in [u, v] {
+            freq.entry(w)
+                .or_insert_with(|| network.frequency(w, pattern));
+        }
+    }
+    for list in adj.values_mut() {
+        list.sort_unstable();
+    }
+    let mut out = FxHashMap::default();
+    for &(u, v) in edges {
+        let (fu, fv) = (freq[&u], freq[&v]);
+        let mut eco = 0.0;
+        let (a, b) = (&adj[&u], &adj[&v]);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    eco += fu.min(fv).min(freq[&a[i]]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.insert((u, v), eco);
+    }
+    out
+}
+
+/// Fixpoint peel of an explicit edge set: repeatedly recompute every
+/// cohesion from scratch and drop all edges `≤ α` until stable. Returns the
+/// surviving edges, sorted.
+pub fn peel_edge_set(
+    network: &DatabaseNetwork,
+    pattern: &Pattern,
+    edges: &[EdgeKey],
+    alpha: f64,
+) -> Vec<EdgeKey> {
+    let mut current: Vec<EdgeKey> = edges.to_vec();
+    current.sort_unstable();
+    current.dedup();
+    loop {
+        let cohesions = cohesions_of_edge_set(network, pattern, &current);
+        let survivors: Vec<EdgeKey> = current
+            .iter()
+            .filter(|e| float::gt_eps(cohesions[*e], alpha))
+            .copied()
+            .collect();
+        if survivors.len() == current.len() {
+            return survivors;
+        }
+        current = survivors;
+    }
+}
+
+/// Brute-force maximal pattern truss: fixpoint peel of the full theme
+/// network `G_p` at `α` (Definition 3.4 computed literally).
+pub fn brute_force_truss(
+    network: &DatabaseNetwork,
+    pattern: &Pattern,
+    alpha: f64,
+) -> Vec<EdgeKey> {
+    let theme = ThemeNetwork::induce(network, pattern);
+    let edges: Vec<EdgeKey> = theme
+        .graph()
+        .edges()
+        .map(|e| theme.global_edge(e))
+        .collect();
+    peel_edge_set(network, pattern, &edges, alpha)
+}
+
+/// Every pattern with positive frequency on at least one vertex, up to
+/// `max_len` items — the exhaustive theme candidate set (2^|S| bounded by
+/// what actually occurs). Exponential; test-sized inputs only.
+pub fn all_occurring_patterns(network: &DatabaseNetwork, max_len: usize) -> Vec<Pattern> {
+    let mut seen: std::collections::BTreeSet<Pattern> = std::collections::BTreeSet::new();
+    for v in 0..network.num_vertices() as VertexId {
+        tc_txdb::eclat::for_each_frequent_pattern(network.database(v), 0.0, max_len, |p, _| {
+            seen.insert(p.clone());
+        });
+    }
+    seen.into_iter().collect()
+}
+
+/// Exhaustive miner: runs the brute-force truss computation for **every**
+/// occurring pattern. The ground truth against which TCS/TCFA/TCFI are
+/// validated.
+pub fn exhaustive_mine(
+    network: &DatabaseNetwork,
+    alpha: f64,
+    max_len: usize,
+) -> Vec<(Pattern, Vec<EdgeKey>)> {
+    all_occurring_patterns(network, max_len)
+        .into_iter()
+        .filter_map(|p| {
+            let edges = brute_force_truss(network, &p, alpha);
+            (!edges.is_empty()).then_some((p, edges))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DatabaseNetworkBuilder;
+
+    fn triangle_net() -> (DatabaseNetwork, Pattern) {
+        let mut b = DatabaseNetworkBuilder::new();
+        let p = b.intern_item("p");
+        for v in 0..3u32 {
+            b.add_transaction(v, &[p]);
+        }
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        let net = b.build().unwrap();
+        let pat = Pattern::singleton(net.item_space().get("p").unwrap());
+        (net, pat)
+    }
+
+    #[test]
+    fn triangle_cohesions_are_one() {
+        let (net, pat) = triangle_net();
+        let eco = cohesions_of_edge_set(&net, &pat, &[(0, 1), (1, 2), (0, 2)]);
+        for &v in eco.values() {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peel_fixpoint_keeps_triangle_below_one() {
+        let (net, pat) = triangle_net();
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        assert_eq!(peel_edge_set(&net, &pat, &edges, 0.5).len(), 3);
+        assert!(peel_edge_set(&net, &pat, &edges, 1.0).is_empty());
+    }
+
+    #[test]
+    fn brute_force_truss_on_triangle() {
+        let (net, pat) = triangle_net();
+        assert_eq!(brute_force_truss(&net, &pat, 0.5).len(), 3);
+        assert!(brute_force_truss(&net, &pat, 1.0).is_empty());
+    }
+
+    #[test]
+    fn all_occurring_patterns_enumerates() {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        let y = b.intern_item("y");
+        b.add_transaction(0, &[x, y]);
+        b.add_transaction(1, &[x]);
+        b.add_edge(0, 1);
+        let net = b.build().unwrap();
+        let pats = all_occurring_patterns(&net, usize::MAX);
+        // {x}, {y}, {x,y}
+        assert_eq!(pats.len(), 3);
+        let caps = all_occurring_patterns(&net, 1);
+        assert_eq!(caps.len(), 2);
+    }
+
+    #[test]
+    fn exhaustive_mine_triangle() {
+        let (net, pat) = triangle_net();
+        let results = exhaustive_mine(&net, 0.5, usize::MAX);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, pat);
+        assert_eq!(results[0].1.len(), 3);
+        assert!(exhaustive_mine(&net, 1.0, usize::MAX).is_empty());
+    }
+}

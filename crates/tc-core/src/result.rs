@@ -1,0 +1,207 @@
+//! Mining results and the evaluation metrics of §7 (NP / NV / NE).
+
+use crate::community::{extract_communities, ThemeCommunity};
+use crate::truss::PatternTruss;
+use tc_txdb::Pattern;
+use tc_util::HeapSize;
+
+/// Counters accumulated by a miner run — the quantities behind Figures 3-4
+/// and the §7.1 pruning-effectiveness discussion (MPTD call counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MinerStats {
+    /// How many times MPTD (Algorithm 1) ran.
+    pub mptd_calls: usize,
+    /// Candidate patterns generated (before any pruning).
+    pub candidates_generated: usize,
+    /// Candidates discarded by the TCFI empty-intersection test without
+    /// running MPTD (always 0 for TCS / TCFA).
+    pub pruned_by_intersection: usize,
+    /// Wall-clock time of the mine call, in seconds.
+    pub elapsed_secs: f64,
+}
+
+/// The outcome of mining a database network at one cohesion threshold: every
+/// non-empty maximal pattern truss, keyed by its pattern.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// The cohesion threshold `α` used.
+    pub alpha: f64,
+    /// Non-empty maximal pattern trusses, sorted by pattern.
+    pub trusses: Vec<PatternTruss>,
+    /// Run counters.
+    pub stats: MinerStats,
+}
+
+impl MiningResult {
+    /// Assembles a result, sorting trusses by pattern for determinism.
+    pub fn new(alpha: f64, mut trusses: Vec<PatternTruss>, stats: MinerStats) -> Self {
+        trusses.retain(|t| !t.is_empty());
+        trusses.sort_by(|a, b| a.pattern.cmp(&b.pattern));
+        MiningResult {
+            alpha,
+            trusses,
+            stats,
+        }
+    }
+
+    /// **NP** — number of detected maximal pattern trusses (one per
+    /// pattern; §7's "Number of Patterns").
+    pub fn np(&self) -> usize {
+        self.trusses.len()
+    }
+
+    /// **NV** — total vertices across all trusses; a vertex in `k` trusses
+    /// counts `k` times (§7).
+    pub fn nv(&self) -> usize {
+        self.trusses.iter().map(PatternTruss::num_vertices).sum()
+    }
+
+    /// **NE** — total edges across all trusses, counted with multiplicity.
+    pub fn ne(&self) -> usize {
+        self.trusses.iter().map(PatternTruss::num_edges).sum()
+    }
+
+    /// All theme communities (Definition 3.5): connected components of every
+    /// truss.
+    pub fn communities(&self) -> Vec<ThemeCommunity> {
+        self.trusses.iter().flat_map(extract_communities).collect()
+    }
+
+    /// The truss of a specific pattern, if qualified.
+    pub fn truss_of(&self, pattern: &Pattern) -> Option<&PatternTruss> {
+        self.trusses
+            .binary_search_by(|t| t.pattern.cmp(pattern))
+            .ok()
+            .map(|i| &self.trusses[i])
+    }
+
+    /// The sorted list of qualified patterns.
+    pub fn patterns(&self) -> Vec<&Pattern> {
+        self.trusses.iter().map(|t| &t.pattern).collect()
+    }
+
+    /// `true` when both results found identical trusses (pattern, edge set
+    /// and vertex set all equal) — used to verify TCFA ≡ TCFI.
+    pub fn same_trusses(&self, other: &MiningResult) -> bool {
+        self.trusses.len() == other.trusses.len()
+            && self
+                .trusses
+                .iter()
+                .zip(&other.trusses)
+                .all(|(a, b)| a.pattern == b.pattern && a.edges == b.edges)
+    }
+
+    /// The `k` most thematic communities: longest pattern first, ties
+    /// broken by size — the ordering the case study (§7.4) presents.
+    pub fn top_communities(&self, k: usize) -> Vec<ThemeCommunity> {
+        let mut communities = self.communities();
+        communities.sort_by_key(|c| std::cmp::Reverse((c.pattern.len(), c.num_vertices())));
+        communities.truncate(k);
+        communities
+    }
+
+    /// Communities with at least `min_vertices` members and a theme of at
+    /// least `min_pattern_len` items — the usual report filter.
+    pub fn filter_communities(
+        &self,
+        min_vertices: usize,
+        min_pattern_len: usize,
+    ) -> Vec<ThemeCommunity> {
+        self.communities()
+            .into_iter()
+            .filter(|c| c.num_vertices() >= min_vertices && c.pattern.len() >= min_pattern_len)
+            .collect()
+    }
+}
+
+impl HeapSize for MiningResult {
+    fn heap_size(&self) -> usize {
+        self.trusses.iter().map(|t| t.heap_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_txdb::Item;
+
+    fn pat(ids: &[u32]) -> Pattern {
+        Pattern::new(ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    fn sample() -> MiningResult {
+        MiningResult::new(
+            0.1,
+            vec![
+                PatternTruss::from_edges(pat(&[1]), 0.1, vec![(0, 1), (1, 2), (0, 2)]),
+                PatternTruss::from_edges(pat(&[0]), 0.1, vec![(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7)]),
+                PatternTruss::empty(pat(&[2]), 0.1),
+            ],
+            MinerStats::default(),
+        )
+    }
+
+    #[test]
+    fn empty_trusses_dropped_and_sorted() {
+        let r = sample();
+        assert_eq!(r.np(), 2);
+        assert_eq!(r.patterns(), vec![&pat(&[0]), &pat(&[1])]);
+    }
+
+    #[test]
+    fn np_nv_ne() {
+        let r = sample();
+        assert_eq!(r.np(), 2);
+        assert_eq!(r.nv(), 6 + 3);
+        assert_eq!(r.ne(), 6 + 3);
+    }
+
+    #[test]
+    fn communities_split_disconnected_trusses() {
+        let r = sample();
+        let cs = r.communities();
+        // pattern {0} has two components, pattern {1} one.
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn truss_lookup() {
+        let r = sample();
+        assert!(r.truss_of(&pat(&[0])).is_some());
+        assert!(r.truss_of(&pat(&[2])).is_none());
+        assert!(r.truss_of(&pat(&[9])).is_none());
+    }
+
+    #[test]
+    fn same_trusses_comparison() {
+        let a = sample();
+        let b = sample();
+        assert!(a.same_trusses(&b));
+        let c = MiningResult::new(
+            0.1,
+            vec![PatternTruss::from_edges(pat(&[0]), 0.1, vec![(0, 1), (1, 2), (0, 2)])],
+            MinerStats::default(),
+        );
+        assert!(!a.same_trusses(&c));
+    }
+
+    #[test]
+    fn top_communities_ordering_and_truncation() {
+        let r = sample();
+        let top = r.top_communities(2);
+        assert_eq!(top.len(), 2);
+        // All communities here have 1-item patterns; largest size first.
+        assert!(top[0].num_vertices() >= top[1].num_vertices());
+        let all = r.top_communities(100);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn filter_communities_thresholds() {
+        let r = sample();
+        assert_eq!(r.filter_communities(0, 0).len(), 3);
+        assert_eq!(r.filter_communities(4, 0).len(), 0, "all components have 3 vertices");
+        assert_eq!(r.filter_communities(3, 1).len(), 3);
+        assert_eq!(r.filter_communities(0, 2).len(), 0, "no 2-item themes in fixture");
+    }
+}

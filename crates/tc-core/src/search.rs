@@ -1,0 +1,160 @@
+//! Online theme-community search.
+//!
+//! The k-truss literature the paper builds on (§2.1, Huang et al. 2014)
+//! studies *community search*: given a query vertex, return the communities
+//! containing it. This module lifts that operation to theme communities:
+//! given a vertex `v`, a pattern `p` and a threshold `α`, return the theme
+//! community of `p` containing `v`, if any.
+//!
+//! The index-accelerated variant (prune whole TC-Tree subtrees once `v`
+//! drops out of a truss — sound by Theorem 5.1) lives in `tc-index`.
+
+use crate::community::{extract_communities, ThemeCommunity};
+use crate::mptd::maximal_pattern_truss;
+use crate::network::DatabaseNetwork;
+use crate::theme::ThemeNetwork;
+use tc_graph::VertexId;
+use tc_txdb::Pattern;
+
+/// The theme community of `pattern` at `alpha` containing `vertex`, if any.
+///
+/// Computes the maximal pattern truss of `G_p`, splits it into connected
+/// components, and returns the component containing `vertex`.
+pub fn community_of_vertex(
+    network: &DatabaseNetwork,
+    vertex: VertexId,
+    pattern: &Pattern,
+    alpha: f64,
+) -> Option<ThemeCommunity> {
+    let theme = ThemeNetwork::induce(network, pattern);
+    let truss = maximal_pattern_truss(&theme, alpha);
+    if !truss.contains_vertex(vertex) {
+        return None;
+    }
+    extract_communities(&truss)
+        .into_iter()
+        .find(|c| c.vertices.binary_search(&vertex).is_ok())
+}
+
+/// All single-item theme communities containing `vertex` at `alpha` — a
+/// vertex's *theme profile*. Returns `(pattern, community)` pairs sorted by
+/// pattern.
+pub fn theme_profile(
+    network: &DatabaseNetwork,
+    vertex: VertexId,
+    alpha: f64,
+) -> Vec<(Pattern, ThemeCommunity)> {
+    let mut out = Vec::new();
+    if (vertex as usize) >= network.num_vertices() {
+        return out;
+    }
+    // Only items present in the vertex's own database can qualify: if
+    // f_v(p) = 0 then v is not in G_p at all.
+    let mut items: Vec<_> = network.database(vertex).items().collect();
+    items.sort_unstable();
+    for item in items {
+        let pattern = Pattern::singleton(item);
+        if let Some(c) = community_of_vertex(network, vertex, &pattern, alpha) {
+            out.push((pattern, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DatabaseNetworkBuilder;
+
+    /// Two triangles sharing vertex 2: {0,1,2} themed "x", {2,3,4} themed
+    /// "y"; vertex 2 carries both items.
+    fn net() -> DatabaseNetwork {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        let y = b.intern_item("y");
+        for v in [0u32, 1] {
+            for _ in 0..4 {
+                b.add_transaction(v, &[x]);
+            }
+        }
+        for v in [3u32, 4] {
+            for _ in 0..4 {
+                b.add_transaction(v, &[y]);
+            }
+        }
+        for _ in 0..4 {
+            b.add_transaction(2, &[x, y]);
+        }
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.add_edge(2, 3).add_edge(3, 4).add_edge(2, 4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_community_of_query_vertex() {
+        let n = net();
+        let x = n.item_space().get("x").unwrap();
+        let c = community_of_vertex(&n, 0, &Pattern::singleton(x), 0.5).unwrap();
+        assert_eq!(c.vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn absent_vertex_returns_none() {
+        let n = net();
+        let x = n.item_space().get("x").unwrap();
+        // Vertex 4 has no "x" at all.
+        assert!(community_of_vertex(&n, 4, &Pattern::singleton(x), 0.0).is_none());
+        // Vertex beyond range.
+        assert!(community_of_vertex(&n, 99, &Pattern::singleton(x), 0.0).is_none());
+    }
+
+    #[test]
+    fn high_alpha_returns_none() {
+        let n = net();
+        let x = n.item_space().get("x").unwrap();
+        assert!(community_of_vertex(&n, 0, &Pattern::singleton(x), 5.0).is_none());
+    }
+
+    #[test]
+    fn returns_only_vs_component() {
+        // Two disjoint "x" triangles; the query vertex's component only.
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        for v in 0..6u32 {
+            for _ in 0..3 {
+                b.add_transaction(v, &[x]);
+            }
+        }
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+        let n = b.build().unwrap();
+        let c = community_of_vertex(&n, 4, &Pattern::singleton(x), 0.5).unwrap();
+        assert_eq!(c.vertices, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn theme_profile_of_bridge_vertex() {
+        let n = net();
+        let profile = theme_profile(&n, 2, 0.5);
+        assert_eq!(profile.len(), 2, "vertex 2 sits in both themes");
+        let themes: Vec<String> = profile.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(themes, vec!["{i0}", "{i1}"]);
+        // Its communities differ.
+        assert_eq!(profile[0].1.vertices, vec![0, 1, 2]);
+        assert_eq!(profile[1].1.vertices, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn theme_profile_of_leaf_vertex() {
+        let n = net();
+        let profile = theme_profile(&n, 0, 0.5);
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].1.vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn theme_profile_out_of_range() {
+        let n = net();
+        assert!(theme_profile(&n, 1000, 0.0).is_empty());
+    }
+}

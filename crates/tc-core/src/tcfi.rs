@@ -1,0 +1,358 @@
+//! Theme Community Finder Intersection (TCFI) — §5.3, the headline miner.
+//!
+//! TCFI refines TCFA in one line of Algorithm 3 (line 6): the theme network
+//! of a level-`k` candidate `p^k = p^{k-1} ∪ q^{k-1}` is induced not from
+//! the full network but from `C*_{p^{k-1}}(α) ∩ C*_{q^{k-1}}(α)`, which is
+//! sound by the graph-intersection property (Proposition 5.3). Candidates
+//! whose parents' trusses do not intersect are pruned without running MPTD
+//! at all — and because maximal pattern trusses are typically small local
+//! subgraphs scattered across a sparse network (§7.2), this eliminates most
+//! of the work.
+
+use crate::miner::Miner;
+use crate::mptd::maximal_pattern_truss;
+use crate::network::DatabaseNetwork;
+use crate::result::{MinerStats, MiningResult};
+use crate::tcfa::mine_level_one;
+use crate::theme::ThemeNetwork;
+use crate::truss::PatternTruss;
+use tc_txdb::{apriori, Pattern};
+use tc_util::{FxHashMap, Stopwatch};
+
+/// The intersection-pruned miner.
+#[derive(Debug, Clone)]
+pub struct TcfiMiner {
+    /// Safety cap on pattern length (`usize::MAX` = unbounded).
+    pub max_len: usize,
+}
+
+impl Default for TcfiMiner {
+    fn default() -> Self {
+        TcfiMiner { max_len: usize::MAX }
+    }
+}
+
+impl TcfiMiner {
+    /// A parallel variant of this miner: within each level, candidates are
+    /// independent (they only read the previous level's trusses), so they
+    /// can be processed concurrently — the same observation Algorithm 4
+    /// exploits for the TC-Tree's first layer.
+    pub fn parallel(self, threads: usize) -> ParallelTcfiMiner {
+        ParallelTcfiMiner {
+            max_len: self.max_len,
+            threads,
+        }
+    }
+}
+
+impl Miner for TcfiMiner {
+    fn name(&self) -> &'static str {
+        "TCFI"
+    }
+
+    fn mine(&self, network: &DatabaseNetwork, alpha: f64) -> MiningResult {
+        let sw = Stopwatch::start();
+        let mut stats = MinerStats::default();
+        let mut all: Vec<PatternTruss> = Vec::new();
+
+        let mut level = mine_level_one(network, alpha, &mut stats);
+
+        let mut k = 2usize;
+        while !level.is_empty() && k <= self.max_len {
+            // Index the level's trusses by pattern; candidate generation
+            // returns parent *indices* into the sorted pattern list.
+            let mut prev_patterns: Vec<Pattern> =
+                level.iter().map(|t| t.pattern.clone()).collect();
+            let by_pattern: FxHashMap<Pattern, PatternTruss> = level
+                .drain(..)
+                .map(|t| (t.pattern.clone(), t))
+                .collect();
+
+            let candidates = apriori::generate_candidates(&mut prev_patterns);
+            stats.candidates_generated += candidates.len();
+
+            let mut next = Vec::new();
+            for cand in candidates {
+                let left = &by_pattern[&prev_patterns[cand.left]];
+                let right = &by_pattern[&prev_patterns[cand.right]];
+                let intersection = left.intersect_edges(right);
+                if intersection.is_empty() {
+                    // Proposition 5.3: C*_{p∪q}(α) ⊆ C*_p(α) ∩ C*_q(α) = ∅.
+                    stats.pruned_by_intersection += 1;
+                    continue;
+                }
+                let theme = ThemeNetwork::induce_from_edges(network, &cand.pattern, &intersection);
+                if theme.is_trivial() {
+                    continue;
+                }
+                stats.mptd_calls += 1;
+                let truss = maximal_pattern_truss(&theme, alpha);
+                if !truss.is_empty() {
+                    next.push(truss);
+                }
+            }
+            all.extend(by_pattern.into_values());
+            level = next;
+            k += 1;
+        }
+        all.append(&mut level);
+
+        stats.elapsed_secs = sw.elapsed_secs();
+        MiningResult::new(alpha, all, stats)
+    }
+}
+
+/// TCFI with parallel candidate processing inside each level.
+///
+/// Produces exactly the same [`MiningResult`] trusses as [`TcfiMiner`] (the
+/// level barrier keeps the Apriori frontier identical); only wall-clock and
+/// scheduling differ. Counters are accumulated atomically.
+#[derive(Debug, Clone)]
+pub struct ParallelTcfiMiner {
+    /// Safety cap on pattern length.
+    pub max_len: usize,
+    /// Worker threads per level (clamped to ≥ 1).
+    pub threads: usize,
+}
+
+impl Default for ParallelTcfiMiner {
+    fn default() -> Self {
+        ParallelTcfiMiner {
+            max_len: usize::MAX,
+            threads: 4,
+        }
+    }
+}
+
+impl Miner for ParallelTcfiMiner {
+    fn name(&self) -> &'static str {
+        "TCFI-par"
+    }
+
+    fn mine(&self, network: &DatabaseNetwork, alpha: f64) -> MiningResult {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let sw = Stopwatch::start();
+        let mut stats = MinerStats::default();
+        let mut all: Vec<PatternTruss> = Vec::new();
+        let threads = self.threads.max(1);
+
+        let mut level = mine_level_one(network, alpha, &mut stats);
+
+        let mut k = 2usize;
+        while !level.is_empty() && k <= self.max_len {
+            let mut prev_patterns: Vec<Pattern> =
+                level.iter().map(|t| t.pattern.clone()).collect();
+            let by_pattern: FxHashMap<Pattern, PatternTruss> = level
+                .drain(..)
+                .map(|t| (t.pattern.clone(), t))
+                .collect();
+            let candidates = apriori::generate_candidates(&mut prev_patterns);
+            stats.candidates_generated += candidates.len();
+
+            let mptd_calls = AtomicUsize::new(0);
+            let pruned = AtomicUsize::new(0);
+            let next_idx = AtomicUsize::new(0);
+            let found = parking_lot::Mutex::new(Vec::new());
+
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(candidates.len().max(1)) {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next_idx.fetch_add(1, Ordering::Relaxed);
+                            if i >= candidates.len() {
+                                break;
+                            }
+                            let cand = &candidates[i];
+                            let left = &by_pattern[&prev_patterns[cand.left]];
+                            let right = &by_pattern[&prev_patterns[cand.right]];
+                            let intersection = left.intersect_edges(right);
+                            if intersection.is_empty() {
+                                pruned.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            let theme = ThemeNetwork::induce_from_edges(
+                                network,
+                                &cand.pattern,
+                                &intersection,
+                            );
+                            if theme.is_trivial() {
+                                continue;
+                            }
+                            mptd_calls.fetch_add(1, Ordering::Relaxed);
+                            let truss = maximal_pattern_truss(&theme, alpha);
+                            if !truss.is_empty() {
+                                local.push(truss);
+                            }
+                        }
+                        found.lock().extend(local);
+                    });
+                }
+            });
+
+            stats.mptd_calls += mptd_calls.into_inner();
+            stats.pruned_by_intersection += pruned.into_inner();
+            all.extend(by_pattern.into_values());
+            level = found.into_inner();
+            k += 1;
+        }
+        all.append(&mut level);
+
+        stats.elapsed_secs = sw.elapsed_secs();
+        MiningResult::new(alpha, all, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{DatabaseNetwork, DatabaseNetworkBuilder};
+    use crate::oracle;
+    use crate::tcfa::TcfaMiner;
+
+    fn overlapping_net() -> DatabaseNetwork {
+        // Triangle A (vertices 0-2): items {a,b} everywhere.
+        // Triangle B (vertices 2-4): items {b,c} everywhere (vertex 2 shared).
+        // Far triangle C (vertices 5-7): items {a,c}.
+        let mut b = DatabaseNetworkBuilder::new();
+        let ia = b.intern_item("a");
+        let ib = b.intern_item("b");
+        let ic = b.intern_item("c");
+        for v in 0..3u32 {
+            for _ in 0..4 {
+                b.add_transaction(v, &[ia, ib]);
+            }
+        }
+        for v in 2..5u32 {
+            for _ in 0..4 {
+                b.add_transaction(v, &[ib, ic]);
+            }
+        }
+        for v in 5..8u32 {
+            for _ in 0..4 {
+                b.add_transaction(v, &[ia, ic]);
+            }
+        }
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.add_edge(2, 3).add_edge(3, 4).add_edge(2, 4);
+        b.add_edge(5, 6).add_edge(6, 7).add_edge(5, 7);
+        b.add_edge(4, 5); // bridge, not in any triangle
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_results_to_tcfa() {
+        let net = overlapping_net();
+        for alpha in [0.0, 0.1, 0.3, 0.5, 1.0, 2.0] {
+            let fa = TcfaMiner::default().mine(&net, alpha);
+            let fi = TcfiMiner::default().mine(&net, alpha);
+            assert!(
+                fa.same_trusses(&fi),
+                "TCFA and TCFI must be exact at alpha = {alpha}: {} vs {} trusses",
+                fa.np(),
+                fi.np()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_oracle() {
+        let net = overlapping_net();
+        for alpha in [0.0, 0.25, 0.5] {
+            let r = TcfiMiner::default().mine(&net, alpha);
+            let truth = oracle::exhaustive_mine(&net, alpha, usize::MAX);
+            assert_eq!(r.np(), truth.len(), "alpha = {alpha}");
+            for (p, edges) in &truth {
+                assert_eq!(&r.truss_of(p).unwrap().edges, edges);
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_pruning_fires() {
+        // {a} lives on triangles A and C; {b} on A∪B; {c} on B and C.
+        // Candidate {a,b}: trusses intersect on triangle A → kept.
+        // At level 2→3, candidate {a,b,c} joins {a,b} (triangle A) with
+        // {a,c} (triangle C) — disjoint trusses → pruned without MPTD.
+        let net = overlapping_net();
+        let r = TcfiMiner::default().mine(&net, 0.5);
+        assert!(
+            r.stats.pruned_by_intersection > 0,
+            "expected at least one empty-intersection prune"
+        );
+        // And no {a,b,c} truss exists.
+        let ia = net.item_space().get("a").unwrap();
+        let ib = net.item_space().get("b").unwrap();
+        let ic = net.item_space().get("c").unwrap();
+        assert!(r.truss_of(&Pattern::new(vec![ia, ib, ic])).is_none());
+    }
+
+    #[test]
+    fn fewer_mptd_calls_than_tcfa() {
+        let net = overlapping_net();
+        let fa = TcfaMiner::default().mine(&net, 0.5);
+        let fi = TcfiMiner::default().mine(&net, 0.5);
+        assert!(
+            fi.stats.mptd_calls <= fa.stats.mptd_calls,
+            "TCFI must never call MPTD more often than TCFA ({} vs {})",
+            fi.stats.mptd_calls,
+            fa.stats.mptd_calls
+        );
+    }
+
+    #[test]
+    fn overlapping_communities_reported() {
+        // Vertex 2 belongs to the {a,b} truss and the {b,c} truss — the
+        // arbitrary-overlap property §7.4 demonstrates. (α = 0.3 < 0.5 =
+        // the cohesion floor set by vertex 2's split frequencies.)
+        let net = overlapping_net();
+        let r = TcfiMiner::default().mine(&net, 0.3);
+        let ia = net.item_space().get("a").unwrap();
+        let ib = net.item_space().get("b").unwrap();
+        let ic = net.item_space().get("c").unwrap();
+        let t_ab = r.truss_of(&Pattern::new(vec![ia, ib])).unwrap();
+        let t_bc = r.truss_of(&Pattern::new(vec![ib, ic])).unwrap();
+        assert!(t_ab.contains_vertex(2));
+        assert!(t_bc.contains_vertex(2));
+    }
+
+    #[test]
+    fn empty_network() {
+        let mut b = DatabaseNetworkBuilder::new();
+        b.ensure_vertex(1);
+        let net = b.build().unwrap();
+        let r = TcfiMiner::default().mine(&net, 0.0);
+        assert_eq!(r.np(), 0);
+    }
+
+    #[test]
+    fn parallel_variant_identical_results() {
+        let net = overlapping_net();
+        for alpha in [0.0, 0.3, 0.5] {
+            let serial = TcfiMiner::default().mine(&net, alpha);
+            for threads in [1, 2, 4] {
+                let par = TcfiMiner::default().parallel(threads).mine(&net, alpha);
+                assert!(
+                    serial.same_trusses(&par),
+                    "serial vs {threads}-thread TCFI at alpha = {alpha}"
+                );
+                assert_eq!(serial.stats.mptd_calls, par.stats.mptd_calls);
+                assert_eq!(
+                    serial.stats.pruned_by_intersection,
+                    par.stats.pruned_by_intersection
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_empty_network() {
+        let mut b = DatabaseNetworkBuilder::new();
+        b.ensure_vertex(1);
+        let net = b.build().unwrap();
+        let r = ParallelTcfiMiner::default().mine(&net, 0.0);
+        assert_eq!(r.np(), 0);
+        assert_eq!(r.stats.mptd_calls, 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Theme networks `G_p` (paper §3.1).
+//!
+//! Given a pattern `p`, the theme network is the subgraph of `G` induced by
+//! the vertices with `f_i(p) > 0`, each annotated with that frequency. The
+//! miners materialise theme networks as compact local structures (dense
+//! `u32` ids, sorted adjacency, parallel frequency array) ready for the
+//! peeling engine.
+
+use crate::network::DatabaseNetwork;
+use tc_graph::{EdgeKey, GraphBuilder, UGraph, VertexId};
+use tc_txdb::Pattern;
+use tc_util::FxHashMap;
+
+/// A materialised theme network with local vertex ids.
+#[derive(Debug, Clone)]
+pub struct ThemeNetwork {
+    pattern: Pattern,
+    /// Local-id graph over `0..vertices.len()`.
+    graph: UGraph,
+    /// Local id → global vertex id (sorted ascending).
+    vertices: Vec<VertexId>,
+    /// Local id → `f_i(p)` (strictly positive).
+    freqs: Vec<f64>,
+}
+
+impl ThemeNetwork {
+    /// Induces `G_p` from the full database network.
+    ///
+    /// Candidate vertices come from the inverted item index; each candidate's
+    /// exact frequency is computed from its vertex database and zero-frequency
+    /// candidates (items present but never co-occurring) are dropped.
+    pub fn induce(network: &DatabaseNetwork, pattern: &Pattern) -> ThemeNetwork {
+        let candidates = network.candidate_vertices(pattern);
+        let mut vertices = Vec::with_capacity(candidates.len());
+        let mut freqs = Vec::with_capacity(candidates.len());
+        if pattern.len() == 1 {
+            // Fast path: frequencies are already in the index.
+            for &(v, f) in network.vertices_with_item(pattern.items()[0]) {
+                vertices.push(v);
+                freqs.push(f);
+            }
+        } else {
+            for v in candidates {
+                let f = network.frequency(v, pattern);
+                if f > 0.0 {
+                    vertices.push(v);
+                    freqs.push(f);
+                }
+            }
+        }
+        let edges = induce_edges(network, &vertices);
+        Self::from_parts(pattern.clone(), vertices, freqs, &edges)
+    }
+
+    /// Induces `G_p` by scanning **every** vertex database — the literal
+    /// Algorithm 3 line 6, *"Induce `G_pk` from `G`"*.
+    ///
+    /// This is the induction cost model of the paper's TCFA and TCS
+    /// baselines: `Ω(|V|)` pattern-frequency probes per candidate, which is
+    /// precisely the work TCFI's intersection trick (§5.3) avoids.
+    /// [`ThemeNetwork::induce`] is an index-accelerated variant that would
+    /// blur that comparison; the baselines must not use it.
+    pub fn induce_scan(network: &DatabaseNetwork, pattern: &Pattern) -> ThemeNetwork {
+        let mut vertices = Vec::new();
+        let mut freqs = Vec::new();
+        for v in 0..network.num_vertices() as VertexId {
+            let f = network.frequency(v, pattern);
+            if f > 0.0 {
+                vertices.push(v);
+                freqs.push(f);
+            }
+        }
+        let edges = induce_edges(network, &vertices);
+        Self::from_parts(pattern.clone(), vertices, freqs, &edges)
+    }
+
+    /// Induces `G_p` restricted to a subgraph given as an explicit edge set
+    /// over **global** vertex ids — the TCFI path (§5.3), where the edge set
+    /// is the intersection of two parents' maximal pattern trusses.
+    pub fn induce_from_edges(
+        network: &DatabaseNetwork,
+        pattern: &Pattern,
+        edges: &[EdgeKey],
+    ) -> ThemeNetwork {
+        let span = tc_graph::ktruss::edge_set_vertices(edges);
+        let mut vertices = Vec::with_capacity(span.len());
+        let mut freqs = Vec::with_capacity(span.len());
+        for v in span {
+            let f = network.frequency(v, pattern);
+            if f > 0.0 {
+                vertices.push(v);
+                freqs.push(f);
+            }
+        }
+        // Keep only edges whose both endpoints kept positive frequency.
+        let kept: Vec<EdgeKey> = edges
+            .iter()
+            .filter(|&&(u, v)| {
+                vertices.binary_search(&u).is_ok() && vertices.binary_search(&v).is_ok()
+            })
+            .copied()
+            .collect();
+        Self::from_parts(pattern.clone(), vertices, freqs, &kept)
+    }
+
+    fn from_parts(
+        pattern: Pattern,
+        vertices: Vec<VertexId>,
+        freqs: Vec<f64>,
+        global_edges: &[EdgeKey],
+    ) -> ThemeNetwork {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "sorted vertices");
+        let mut gb = GraphBuilder::with_capacity(global_edges.len());
+        for &(u, v) in global_edges {
+            let lu = vertices.binary_search(&u).expect("edge endpoint in vertex set") as u32;
+            let lv = vertices.binary_search(&v).expect("edge endpoint in vertex set") as u32;
+            gb.add_edge(lu, lv);
+        }
+        if let Some(last) = vertices.len().checked_sub(1) {
+            gb.ensure_vertex(last as u32);
+        }
+        ThemeNetwork {
+            pattern,
+            graph: gb.build(),
+            vertices,
+            freqs,
+        }
+    }
+
+    /// The inducing pattern `p`.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The local-id graph.
+    pub fn graph(&self) -> &UGraph {
+        &self.graph
+    }
+
+    /// Number of vertices with `f_i(p) > 0`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges of `G_p`.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// `true` when the theme network has no edges (no truss can exist).
+    pub fn is_trivial(&self) -> bool {
+        self.graph.num_edges() == 0
+    }
+
+    /// Global id of local vertex `local`.
+    #[inline]
+    pub fn global_id(&self, local: u32) -> VertexId {
+        self.vertices[local as usize]
+    }
+
+    /// All global vertex ids (sorted).
+    pub fn global_vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// `f_i(p)` of local vertex `local`.
+    #[inline]
+    pub fn frequency(&self, local: u32) -> f64 {
+        self.freqs[local as usize]
+    }
+
+    /// The frequency array, indexed by local id.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Translates a local edge to global ids (canonical order).
+    #[inline]
+    pub fn global_edge(&self, e: (u32, u32)) -> EdgeKey {
+        tc_graph::edge_key(self.global_id(e.0), self.global_id(e.1))
+    }
+
+    /// Frequencies keyed by global vertex id (for reporting).
+    pub fn global_frequency_map(&self) -> FxHashMap<VertexId, f64> {
+        self.vertices
+            .iter()
+            .zip(&self.freqs)
+            .map(|(&v, &f)| (v, f))
+            .collect()
+    }
+}
+
+/// Edges of the full network whose endpoints both lie in `vertices`
+/// (sorted global ids).
+fn induce_edges(network: &DatabaseNetwork, vertices: &[VertexId]) -> Vec<EdgeKey> {
+    let g = network.graph();
+    let mut out = Vec::new();
+    for &u in vertices {
+        for &v in g.neighbors(u) {
+            if u < v && vertices.binary_search(&v).is_ok() {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DatabaseNetworkBuilder;
+
+    /// Figure 1-style toy: v0..v4 pentagon-ish cluster carrying "p", v5 with
+    /// zero frequency, v6..v8 a separate triangle carrying "p".
+    fn toy() -> (DatabaseNetwork, Pattern) {
+        let mut b = DatabaseNetworkBuilder::new();
+        let p = b.intern_item("p");
+        let other = b.intern_item("other");
+        for v in [0u32, 1, 2, 3, 4] {
+            // f = 0.5
+            b.add_transaction(v, &[p]);
+            b.add_transaction(v, &[other]);
+        }
+        b.add_transaction(5, &[other]); // f_5(p) = 0
+        for v in [6u32, 7, 8] {
+            b.add_transaction(v, &[p]); // f = 1.0
+        }
+        // Cluster edges.
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)] {
+            b.add_edge(u, v);
+        }
+        // Bridge through the zero-frequency vertex 5.
+        b.add_edge(4, 5);
+        b.add_edge(5, 6);
+        // Second triangle.
+        b.add_edge(6, 7);
+        b.add_edge(7, 8);
+        b.add_edge(8, 6);
+        let net = b.build().unwrap();
+        let pat = Pattern::singleton(net.item_space().get("p").unwrap());
+        (net, pat)
+    }
+
+    #[test]
+    fn induce_drops_zero_frequency_vertices() {
+        let (net, pat) = toy();
+        let t = ThemeNetwork::induce(&net, &pat);
+        assert_eq!(t.global_vertices(), &[0, 1, 2, 3, 4, 6, 7, 8]);
+        assert_eq!(t.num_vertices(), 8);
+        // Edges through v5 vanish: (4,5), (5,6).
+        assert_eq!(t.num_edges(), 9);
+    }
+
+    #[test]
+    fn frequencies_carried() {
+        let (net, pat) = toy();
+        let t = ThemeNetwork::induce(&net, &pat);
+        for local in 0..t.num_vertices() as u32 {
+            let expected = if t.global_id(local) <= 4 { 0.5 } else { 1.0 };
+            assert!((t.frequency(local) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_graph_mirrors_global_topology() {
+        let (net, pat) = toy();
+        let t = ThemeNetwork::induce(&net, &pat);
+        for (lu, lv) in t.graph().edges() {
+            let (gu, gv) = t.global_edge((lu, lv));
+            assert!(net.graph().has_edge(gu, gv));
+        }
+    }
+
+    #[test]
+    fn induce_multi_item_pattern_requires_cooccurrence() {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        let y = b.intern_item("y");
+        // v0 has x and y co-occurring; v1 has both items but never together.
+        b.add_transaction(0, &[x, y]);
+        b.add_transaction(1, &[x]);
+        b.add_transaction(1, &[y]);
+        b.add_edge(0, 1);
+        let net = b.build().unwrap();
+        let pat = Pattern::new(vec![x, y]);
+        let t = ThemeNetwork::induce(&net, &pat);
+        assert_eq!(t.global_vertices(), &[0], "v1 has f=0 for {{x,y}}");
+        assert!(t.is_trivial());
+    }
+
+    #[test]
+    fn induce_from_edges_restricts() {
+        let (net, pat) = toy();
+        // Restrict to the second triangle plus a dangling edge to v5
+        // (v5 has zero frequency and must drop out).
+        let edges = [(6u32, 7u32), (7, 8), (6, 8), (5, 6)];
+        let t = ThemeNetwork::induce_from_edges(&net, &pat, &edges);
+        assert_eq!(t.global_vertices(), &[6, 7, 8]);
+        assert_eq!(t.num_edges(), 3);
+    }
+
+    #[test]
+    fn induce_from_empty_edges() {
+        let (net, pat) = toy();
+        let t = ThemeNetwork::induce_from_edges(&net, &pat, &[]);
+        assert_eq!(t.num_vertices(), 0);
+        assert!(t.is_trivial());
+    }
+
+    #[test]
+    fn unknown_pattern_gives_empty_network() {
+        let (net, _) = toy();
+        let ghost = Pattern::singleton(tc_txdb::Item(999));
+        let t = ThemeNetwork::induce(&net, &ghost);
+        assert_eq!(t.num_vertices(), 0);
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn global_frequency_map_roundtrip() {
+        let (net, pat) = toy();
+        let t = ThemeNetwork::induce(&net, &pat);
+        let m = t.global_frequency_map();
+        assert_eq!(m.len(), 8);
+        assert!((m[&0] - 0.5).abs() < 1e-12);
+        assert!((m[&8] - 1.0).abs() < 1e-12);
+    }
+}

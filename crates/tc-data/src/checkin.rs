@@ -1,0 +1,235 @@
+//! Check-in database network generator — the Brightkite / Gowalla
+//! substitute.
+//!
+//! §7 builds BK and GW from public check-in dumps: the friendship graph is
+//! the network; each user's check-in history is cut into 2-day periods and
+//! the locations visited within a period form one transaction. Those dumps
+//! are not available offline, so we generate the same consumed shape:
+//! overlapping friend groups that habitually co-visit a small set of
+//! locations (producing themes), occasional random check-ins (noise), and
+//! a scale-free backbone of extra friendships.
+
+use crate::vocab;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_txdb::Item;
+
+/// Configuration for [`generate_checkin`].
+#[derive(Debug, Clone)]
+pub struct CheckinConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of friend groups (habitual co-visitors).
+    pub groups: usize,
+    /// Users per group; users may belong to several groups.
+    pub group_size: usize,
+    /// Size of the location universe.
+    pub locations: usize,
+    /// Favourite locations per group.
+    pub locations_per_group: usize,
+    /// Check-in periods (transactions) per user.
+    pub periods: usize,
+    /// Probability a group favourite is visited in a period.
+    pub visit_prob: f64,
+    /// Expected random (noise) locations per period.
+    pub noise_rate: f64,
+    /// Probability of an edge between two same-group users.
+    pub friend_prob: f64,
+    /// Extra random friendship edges across the whole network.
+    pub extra_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CheckinConfig {
+    fn default() -> Self {
+        CheckinConfig {
+            users: 120,
+            groups: 10,
+            group_size: 8,
+            locations: 150,
+            locations_per_group: 4,
+            periods: 30,
+            visit_prob: 0.7,
+            noise_rate: 1.0,
+            friend_prob: 0.7,
+            extra_edges: 60,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated check-in network plus ground-truth group info.
+#[derive(Debug)]
+pub struct CheckinNetwork {
+    /// The database network (vertices = users, items = locations).
+    pub network: DatabaseNetwork,
+    /// For each group: member vertices and favourite location items.
+    pub groups: Vec<(Vec<u32>, Vec<Item>)>,
+}
+
+/// Generates a check-in database network (see module docs).
+pub fn generate_checkin(cfg: &CheckinConfig) -> CheckinNetwork {
+    assert!(cfg.users >= 2 && cfg.locations >= cfg.locations_per_group);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = DatabaseNetworkBuilder::new();
+
+    let location_items: Vec<Item> = (0..cfg.locations)
+        .map(|i| b.intern_item(&vocab::location_name(i)))
+        .collect();
+
+    // Groups pick members and favourite locations.
+    let all_users: Vec<u32> = (0..cfg.users as u32).collect();
+    let mut groups: Vec<(Vec<u32>, Vec<Item>)> = Vec::with_capacity(cfg.groups);
+    for _ in 0..cfg.groups {
+        let members: Vec<u32> = all_users
+            .choose_multiple(&mut rng, cfg.group_size.min(cfg.users))
+            .copied()
+            .collect();
+        let favourites: Vec<Item> = location_items
+            .choose_multiple(&mut rng, cfg.locations_per_group)
+            .copied()
+            .collect();
+        groups.push((members, favourites));
+    }
+
+    // Per-user membership lists.
+    let mut member_of: Vec<Vec<usize>> = vec![Vec::new(); cfg.users];
+    for (g, (members, _)) in groups.iter().enumerate() {
+        for &u in members {
+            member_of[u as usize].push(g);
+        }
+    }
+
+    // Transactions: one per period; group favourites visited with
+    // visit_prob, plus Poisson-ish noise visits.
+    for user in 0..cfg.users as u32 {
+        for _ in 0..cfg.periods {
+            let mut visits: Vec<Item> = Vec::new();
+            for &g in &member_of[user as usize] {
+                for &loc in &groups[g].1 {
+                    if rng.gen_bool(cfg.visit_prob) {
+                        visits.push(loc);
+                    }
+                }
+            }
+            let noise_count = (cfg.noise_rate * rng.gen::<f64>() * 2.0).round() as usize;
+            for _ in 0..noise_count {
+                visits.push(*location_items.choose(&mut rng).expect("nonempty"));
+            }
+            if visits.is_empty() {
+                // A quiet period: one random check-in so databases keep the
+                // configured number of transactions.
+                visits.push(*location_items.choose(&mut rng).expect("nonempty"));
+            }
+            visits.sort_unstable();
+            visits.dedup();
+            b.add_transaction(user, &visits);
+        }
+    }
+
+    // Friendships: dense within groups, sparse globally.
+    for (members, _) in &groups {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if members[i] != members[j] && rng.gen_bool(cfg.friend_prob) {
+                    b.add_edge(members[i], members[j]);
+                }
+            }
+        }
+    }
+    for _ in 0..cfg.extra_edges {
+        let u = rng.gen_range(0..cfg.users as u32);
+        let v = rng.gen_range(0..cfg.users as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.ensure_vertex(cfg.users as u32 - 1);
+
+    CheckinNetwork {
+        network: b.build().expect("generator uses interned items only"),
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{Miner, TcfiMiner};
+    use tc_txdb::Pattern;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = CheckinConfig::default();
+        let out = generate_checkin(&cfg);
+        assert_eq!(out.network.num_vertices(), cfg.users);
+        assert!(out.network.num_edges() > 0);
+        let stats = out.network.stats();
+        assert_eq!(stats.transactions, cfg.users * cfg.periods);
+        assert!(stats.items_unique <= cfg.locations);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_checkin(&CheckinConfig::default());
+        let b = generate_checkin(&CheckinConfig::default());
+        assert_eq!(a.network.stats(), b.network.stats());
+        assert_eq!(
+            a.network.graph().edges().collect::<Vec<_>>(),
+            b.network.graph().edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn group_members_frequent_their_favourites() {
+        let cfg = CheckinConfig::default();
+        let out = generate_checkin(&cfg);
+        let (members, favourites) = &out.groups[0];
+        for &m in members {
+            for &loc in favourites {
+                let f = out.network.frequency(m, &Pattern::singleton(loc));
+                assert!(
+                    f > cfg.visit_prob * 0.5,
+                    "member {m}: favourite frequency {f} suspiciously low"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mining_finds_location_themes() {
+        let out = generate_checkin(&CheckinConfig {
+            users: 60,
+            groups: 5,
+            group_size: 8,
+            locations: 80,
+            periods: 25,
+            ..CheckinConfig::default()
+        });
+        let result = TcfiMiner { max_len: 2 }.mine(&out.network, 0.3);
+        assert!(result.np() > 0, "no location themes found");
+        // Multi-location habits should appear as length-2 themes.
+        assert!(
+            result.patterns().iter().any(|p| p.len() == 2),
+            "expected a co-visited location pair theme"
+        );
+    }
+
+    #[test]
+    fn transactions_are_nonempty() {
+        let out = generate_checkin(&CheckinConfig {
+            users: 10,
+            groups: 1,
+            group_size: 3,
+            visit_prob: 0.01,
+            noise_rate: 0.0,
+            ..CheckinConfig::default()
+        });
+        // Even with nearly no visits, every period yields one check-in.
+        let stats = out.network.stats();
+        assert!(stats.items_total >= stats.transactions);
+    }
+}

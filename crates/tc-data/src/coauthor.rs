@@ -1,0 +1,270 @@
+//! Co-author database network generator — the AMINER substitute.
+//!
+//! The paper builds AMINER from a citation dump: authors are vertices,
+//! co-authorship is an edge, and each paper contributes a transaction of
+//! its abstract keywords to every author's database. That dump is not
+//! available offline, so we generate a network with the same consumed
+//! shape: research groups (dense collaboration clusters) whose papers draw
+//! keywords from their topic's vocabulary, a few *interdisciplinary*
+//! authors belonging to two groups (these produce the overlapping
+//! communities of Figure 6), and sparse cross-group collaborations.
+
+use crate::vocab;
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_txdb::Item;
+
+/// Configuration for [`generate_coauthor`].
+#[derive(Debug, Clone)]
+pub struct CoauthorConfig {
+    /// Number of research groups; each uses one topic vocabulary (cycled).
+    pub groups: usize,
+    /// Authors per group (excluding interdisciplinary extras).
+    pub authors_per_group: usize,
+    /// Authors belonging to two consecutive groups each.
+    pub interdisciplinary_authors: usize,
+    /// Papers (transactions) per author.
+    pub papers_per_author: usize,
+    /// Keywords per paper.
+    pub keywords_per_paper: usize,
+    /// Probability of an edge between two same-group authors.
+    pub collab_prob: f64,
+    /// Number of random cross-group collaboration edges.
+    pub cross_group_edges: usize,
+    /// Probability that a paper carries one generic keyword
+    /// ([`vocab::GENERIC_KEYWORDS`]) in addition to its topic keywords —
+    /// the diffuse cross-topic co-occurrence real abstracts exhibit.
+    pub generic_keyword_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoauthorConfig {
+    fn default() -> Self {
+        CoauthorConfig {
+            groups: 6,
+            authors_per_group: 12,
+            interdisciplinary_authors: 4,
+            papers_per_author: 20,
+            keywords_per_paper: 4,
+            collab_prob: 0.6,
+            cross_group_edges: 10,
+            generic_keyword_prob: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated network plus its provenance (who is who).
+#[derive(Debug)]
+pub struct CoauthorNetwork {
+    /// The database network (vertices = authors).
+    pub network: DatabaseNetwork,
+    /// `author_names[v]` is the display name of vertex `v`.
+    pub author_names: Vec<String>,
+    /// For each group: `(topic name, member vertices)`.
+    pub groups: Vec<(String, Vec<u32>)>,
+}
+
+/// Generates a co-author database network (see module docs).
+pub fn generate_coauthor(cfg: &CoauthorConfig) -> CoauthorNetwork {
+    assert!(cfg.groups >= 1 && cfg.authors_per_group >= 2);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = DatabaseNetworkBuilder::new();
+
+    // Intern every topic's keywords once, plus the shared generic pool.
+    let topic_items: Vec<(String, Vec<Item>)> = (0..cfg.groups)
+        .map(|g| {
+            let (name, kws) = vocab::TOPICS[g % vocab::TOPICS.len()];
+            let items = kws.iter().map(|kw| b.intern_item(kw)).collect();
+            (name.to_string(), items)
+        })
+        .collect();
+    let generic_items: Vec<Item> = vocab::GENERIC_KEYWORDS
+        .iter()
+        .map(|kw| b.intern_item(kw))
+        .collect();
+
+    // Assign authors to groups.
+    let mut groups: Vec<(String, Vec<u32>)> = topic_items
+        .iter()
+        .map(|(name, _)| (name.clone(), Vec::new()))
+        .collect();
+    let mut next_author = 0u32;
+    for g in 0..cfg.groups {
+        for _ in 0..cfg.authors_per_group {
+            groups[g].1.push(next_author);
+            next_author += 1;
+        }
+    }
+    // Interdisciplinary authors join group g and g+1.
+    for i in 0..cfg.interdisciplinary_authors {
+        let g = i % cfg.groups.max(1);
+        let g2 = (g + 1) % cfg.groups.max(1);
+        groups[g].1.push(next_author);
+        if g2 != g {
+            groups[g2].1.push(next_author);
+        }
+        next_author += 1;
+    }
+    let num_authors = next_author as usize;
+    let author_names: Vec<String> = (0..num_authors).map(vocab::person_name).collect();
+
+    // Papers: each author writes papers per group membership; keywords
+    // sampled from the group's topic.
+    let mut memberships: Vec<Vec<usize>> = vec![Vec::new(); num_authors];
+    for (g, (_, members)) in groups.iter().enumerate() {
+        for &a in members {
+            memberships[a as usize].push(g);
+        }
+    }
+    for (author, member_of) in memberships.iter().enumerate() {
+        if member_of.is_empty() {
+            continue;
+        }
+        for paper in 0..cfg.papers_per_author {
+            let g = member_of[paper % member_of.len()];
+            let pool = &topic_items[g].1;
+            let mut kws: Vec<Item> = pool
+                .choose_multiple(&mut rng, cfg.keywords_per_paper.min(pool.len()))
+                .copied()
+                .collect();
+            if cfg.generic_keyword_prob > 0.0 && rng.gen_bool(cfg.generic_keyword_prob) {
+                kws.push(*generic_items.choose(&mut rng).expect("nonempty"));
+            }
+            kws.sort_unstable();
+            kws.dedup();
+            b.add_transaction(author as u32, &kws);
+        }
+    }
+
+    // Collaboration edges inside groups.
+    for (_, members) in &groups {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if members[i] != members[j] && rng.gen_bool(cfg.collab_prob) {
+                    b.add_edge(members[i], members[j]);
+                }
+            }
+        }
+    }
+    // Sparse cross-group edges.
+    for _ in 0..cfg.cross_group_edges {
+        let u = rng.gen_range(0..num_authors as u32);
+        let v = rng.gen_range(0..num_authors as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.ensure_vertex(num_authors as u32 - 1);
+
+    CoauthorNetwork {
+        network: b.build().expect("generator uses interned items only"),
+        author_names,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{Miner, TcfiMiner};
+    use tc_txdb::Pattern;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = CoauthorConfig::default();
+        let out = generate_coauthor(&cfg);
+        let expected_authors =
+            cfg.groups * cfg.authors_per_group + cfg.interdisciplinary_authors;
+        assert_eq!(out.network.num_vertices(), expected_authors);
+        assert_eq!(out.author_names.len(), expected_authors);
+        assert_eq!(out.groups.len(), cfg.groups);
+        assert!(out.network.num_edges() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_coauthor(&CoauthorConfig::default());
+        let b = generate_coauthor(&CoauthorConfig::default());
+        assert_eq!(a.network.num_edges(), b.network.num_edges());
+        assert_eq!(a.network.stats(), b.network.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_coauthor(&CoauthorConfig::default());
+        let b = generate_coauthor(&CoauthorConfig {
+            seed: 1,
+            ..CoauthorConfig::default()
+        });
+        // Edge sets almost surely differ.
+        assert_ne!(
+            a.network.graph().edges().collect::<Vec<_>>(),
+            b.network.graph().edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn groups_form_theme_communities() {
+        // Mining must recover at least one multi-keyword theme community
+        // per... at least somewhere: group members share topic keywords.
+        let out = generate_coauthor(&CoauthorConfig {
+            groups: 3,
+            authors_per_group: 8,
+            interdisciplinary_authors: 2,
+            papers_per_author: 30,
+            keywords_per_paper: 4,
+            collab_prob: 0.8,
+            cross_group_edges: 2,
+            generic_keyword_prob: 0.2,
+            seed: 7,
+        });
+        let result = TcfiMiner { max_len: 2 }.mine(&out.network, 0.05);
+        assert!(result.np() > 0, "no trusses found at all");
+        let has_pair_theme = result.patterns().iter().any(|p| p.len() == 2);
+        assert!(has_pair_theme, "expected at least one 2-keyword theme");
+    }
+
+    #[test]
+    fn interdisciplinary_authors_span_topics() {
+        let cfg = CoauthorConfig::default();
+        let out = generate_coauthor(&cfg);
+        // The last `interdisciplinary_authors` vertices belong to 2 groups.
+        let base = cfg.groups * cfg.authors_per_group;
+        for i in 0..cfg.interdisciplinary_authors {
+            let v = (base + i) as u32;
+            let member_count = out
+                .groups
+                .iter()
+                .filter(|(_, m)| m.contains(&v))
+                .count();
+            assert_eq!(member_count, 2, "author {v} should span two groups");
+        }
+    }
+
+    #[test]
+    fn keyword_frequencies_positive_for_members() {
+        let out = generate_coauthor(&CoauthorConfig::default());
+        let net = &out.network;
+        // Every group member must have positive frequency on some keyword
+        // of its topic.
+        for (topic, members) in &out.groups {
+            let (_, kws) = vocab::TOPICS
+                .iter()
+                .find(|(name, _)| name == topic)
+                .unwrap();
+            for &m in members {
+                let any_positive = kws.iter().any(|kw| {
+                    net.item_space()
+                        .get(kw)
+                        .map(|item| net.frequency(m, &Pattern::singleton(item)) > 0.0)
+                        .unwrap_or(false)
+                });
+                assert!(any_positive, "member {m} of {topic} has no topic keyword");
+            }
+        }
+    }
+}

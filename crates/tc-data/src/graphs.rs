@@ -1,0 +1,188 @@
+//! Random graph generators.
+//!
+//! The paper builds its synthetic network with JUNG (a Java library); we
+//! substitute standard generators with the same statistical shapes:
+//! preferential attachment (scale-free, like social networks), Erdős–Rényi
+//! (baseline), and Watts–Strogatz (high clustering — plenty of triangles,
+//! which truss algorithms care about).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tc_graph::{GraphBuilder, UGraph};
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to degree.
+///
+/// Produces a connected scale-free graph with `n` vertices and roughly
+/// `m · (n - m)` edges.
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> UGraph {
+    assert!(m >= 1, "attachment degree must be positive");
+    assert!(n > m, "need more vertices than the attachment degree");
+    let mut builder = GraphBuilder::with_capacity(n * m);
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on m + 1 vertices.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            builder.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m as u32 + 1)..(n as u32) {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        // Degenerate fallback (tiny graphs): fill with arbitrary vertices.
+        let mut fallback = 0u32;
+        while chosen.len() < m {
+            if fallback != v && !chosen.contains(&fallback) {
+                chosen.push(fallback);
+            }
+            fallback += 1;
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.ensure_vertex(n as u32 - 1);
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> UGraph {
+    let mut builder = GraphBuilder::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    if n > 0 {
+        builder.ensure_vertex(n as u32 - 1);
+    }
+    builder.build()
+}
+
+/// Watts–Strogatz small world: ring lattice of degree `k` (even), each edge
+/// rewired with probability `beta`. High clustering coefficient — rich in
+/// triangles.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> UGraph {
+    assert!(k.is_multiple_of(2), "lattice degree must be even");
+    assert!(n > k, "need n > k");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n as u32 {
+        for offset in 1..=(k / 2) as u32 {
+            let v = (u + offset) % n as u32;
+            edges.push((u, v));
+        }
+    }
+    let all: Vec<u32> = (0..n as u32).collect();
+    let mut builder = GraphBuilder::with_capacity(edges.len());
+    let mut existing: std::collections::HashSet<(u32, u32)> =
+        edges.iter().map(|&(u, v)| tc_graph::edge_key(u, v)).collect();
+    for (u, v) in edges.clone() {
+        if rng.gen_bool(beta.clamp(0.0, 1.0)) {
+            // Rewire the far endpoint.
+            for _ in 0..20 {
+                let &w = all.choose(rng).expect("nonempty");
+                let key = tc_graph::edge_key(u, w);
+                if w != u && !existing.contains(&key) {
+                    existing.remove(&tc_graph::edge_key(u, v));
+                    existing.insert(key);
+                    break;
+                }
+            }
+        }
+    }
+    for &(u, v) in &existing {
+        builder.add_edge(u, v);
+    }
+    builder.ensure_vertex(n as u32 - 1);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_shape() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = preferential_attachment(200, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 200);
+        // m*(n-m-1) new edges + seed clique C(m+1,2).
+        assert_eq!(g.num_edges(), 3 * (200 - 4) + 6);
+        // Connected by construction.
+        let c = tc_graph::connected_components(&g);
+        assert_eq!(c.num_components, 1);
+    }
+
+    #[test]
+    fn ba_is_deterministic_per_seed() {
+        let g1 = preferential_attachment(100, 2, &mut SmallRng::seed_from_u64(9));
+        let g2 = preferential_attachment(100, 2, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn ba_has_hubs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = preferential_attachment(500, 2, &mut rng);
+        // Scale-free: the max degree should far exceed the mean (4).
+        assert!(g.max_degree() > 12, "max degree {} too uniform", g.max_degree());
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = erdos_renyi(100, 0.1, &mut rng);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0);
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < expected * 0.35, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn er_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(erdos_renyi(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut rng).num_edges(), 45);
+        assert_eq!(erdos_renyi(0, 0.5, &mut rng).num_vertices(), 0);
+    }
+
+    #[test]
+    fn ws_no_rewire_is_lattice() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+        // A k=4 ring lattice is triangle-rich.
+        assert!(tc_graph::count_triangles(&g) > 0);
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = watts_strogatz(50, 6, 0.3, &mut rng);
+        assert_eq!(g.num_edges(), 50 * 3);
+    }
+}

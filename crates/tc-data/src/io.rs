@@ -1,0 +1,317 @@
+//! Database network persistence — a line-oriented text format.
+//!
+//! ```text
+//! dbnet v1
+//! items <m>
+//! i <id> <name…>
+//! vertices <n>
+//! edges <e>
+//! e <u> <v>
+//! db <vertex> <h>
+//! t <item-id> <item-id> …
+//! end
+//! ```
+//!
+//! Transactions are reconstructed from the vertical tidsets at save time, so
+//! a round trip preserves every frequency exactly (transaction *order*
+//! within a database is not semantically meaningful and is normalised).
+
+use std::io::{BufRead, Write};
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_txdb::Item;
+
+/// Errors raised while reading a persisted network.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Corrupt(m) => write!(f, "corrupt dbnet file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(msg.into())
+}
+
+/// Writes `network` to `w` in the v1 text format.
+pub fn save_network<W: Write>(network: &DatabaseNetwork, w: &mut W) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(w);
+    writeln!(w, "dbnet v1")?;
+    let items = network.item_space();
+    writeln!(w, "items {}", items.len())?;
+    for item in items.items() {
+        writeln!(w, "i {} {}", item.0, items.name(item).unwrap_or(""))?;
+    }
+    writeln!(w, "vertices {}", network.num_vertices())?;
+    writeln!(w, "edges {}", network.num_edges())?;
+    for (u, v) in network.graph().edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    for v in 0..network.num_vertices() as u32 {
+        let db = network.database(v);
+        let h = db.num_transactions();
+        if h == 0 {
+            continue;
+        }
+        writeln!(w, "db {v} {h}")?;
+        // Reconstruct horizontal transactions from the tidsets.
+        let mut transactions: Vec<Vec<u32>> = vec![Vec::new(); h];
+        let mut db_items: Vec<Item> = db.items().collect();
+        db_items.sort_unstable();
+        for item in db_items {
+            if let Some(tidset) = db.tidset(item) {
+                for tid in tidset.iter() {
+                    transactions[tid].push(item.0);
+                }
+            }
+        }
+        for t in transactions {
+            write!(w, "t")?;
+            for id in t {
+                write!(w, " {id}")?;
+            }
+            writeln!(w)?;
+        }
+    }
+    writeln!(w, "end")?;
+    w.flush()
+}
+
+/// Writes to a file path.
+pub fn save_network_to_path(
+    network: &DatabaseNetwork,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    save_network(network, &mut f)
+}
+
+/// Reads a network in the v1 text format.
+pub fn load_network<R: BufRead>(r: R) -> Result<DatabaseNetwork, LoadError> {
+    let mut lines = r.lines();
+    let mut next_line = || -> Result<String, LoadError> {
+        lines
+            .next()
+            .ok_or_else(|| corrupt("unexpected end of file"))?
+            .map_err(LoadError::Io)
+    };
+
+    if next_line()?.trim() != "dbnet v1" {
+        return Err(corrupt("missing 'dbnet v1' header"));
+    }
+    let mut b = DatabaseNetworkBuilder::new();
+
+    let m: usize = next_line()?
+        .strip_prefix("items ")
+        .ok_or_else(|| corrupt("expected 'items <m>'"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt("bad item count"))?;
+    for expect in 0..m {
+        let line = next_line()?;
+        let rest = line
+            .strip_prefix("i ")
+            .ok_or_else(|| corrupt("expected 'i <id> <name>'"))?;
+        let (id_str, name) = rest.split_once(' ').unwrap_or((rest, ""));
+        let id: u32 = id_str.parse().map_err(|_| corrupt("bad item id"))?;
+        if id as usize != expect {
+            return Err(corrupt("item ids must be dense and ordered"));
+        }
+        let interned = b.intern_item(name);
+        if interned.0 != id {
+            return Err(corrupt(format!("duplicate item name '{name}'")));
+        }
+    }
+
+    let n: usize = next_line()?
+        .strip_prefix("vertices ")
+        .ok_or_else(|| corrupt("expected 'vertices <n>'"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt("bad vertex count"))?;
+    let e: usize = next_line()?
+        .strip_prefix("edges ")
+        .ok_or_else(|| corrupt("expected 'edges <e>'"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt("bad edge count"))?;
+    for _ in 0..e {
+        let line = next_line()?;
+        let rest = line
+            .strip_prefix("e ")
+            .ok_or_else(|| corrupt("expected 'e <u> <v>'"))?;
+        let mut parts = rest.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt("bad edge endpoint"))?;
+        let v: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt("bad edge endpoint"))?;
+        if u as usize >= n || v as usize >= n {
+            return Err(corrupt("edge endpoint out of range"));
+        }
+        b.add_edge(u, v);
+    }
+
+    // Database blocks until 'end'.
+    loop {
+        let line = next_line()?;
+        let trimmed = line.trim();
+        if trimmed == "end" {
+            break;
+        }
+        let rest = trimmed
+            .strip_prefix("db ")
+            .ok_or_else(|| corrupt(format!("expected 'db' or 'end', got '{trimmed}'")))?;
+        let mut parts = rest.split_whitespace();
+        let v: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt("bad db vertex"))?;
+        if v as usize >= n {
+            return Err(corrupt("db vertex out of range"));
+        }
+        let h: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt("bad transaction count"))?;
+        for _ in 0..h {
+            let tline = next_line()?;
+            let rest = tline
+                .strip_prefix('t')
+                .ok_or_else(|| corrupt("expected 't …' transaction line"))?;
+            let mut items = Vec::new();
+            for tok in rest.split_whitespace() {
+                let id: u32 = tok.parse().map_err(|_| corrupt("bad item id in transaction"))?;
+                if id as usize >= m {
+                    return Err(corrupt("transaction item out of range"));
+                }
+                items.push(Item(id));
+            }
+            b.add_transaction(v, &items);
+        }
+    }
+    if n > 0 {
+        b.ensure_vertex(n as u32 - 1);
+    }
+    b.build().map_err(|e| corrupt(e.to_string()))
+}
+
+/// Reads from a file path.
+pub fn load_network_from_path(path: &std::path::Path) -> Result<DatabaseNetwork, LoadError> {
+    let f = std::fs::File::open(path)?;
+    load_network(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::{generate_checkin, CheckinConfig};
+    use tc_txdb::Pattern;
+
+    fn sample() -> DatabaseNetwork {
+        generate_checkin(&CheckinConfig {
+            users: 25,
+            groups: 3,
+            group_size: 6,
+            locations: 20,
+            periods: 8,
+            ..CheckinConfig::default()
+        })
+        .network
+    }
+
+    #[test]
+    fn roundtrip_preserves_stats() {
+        let net = sample();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let loaded = load_network(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.stats(), net.stats());
+        assert_eq!(loaded.num_vertices(), net.num_vertices());
+        assert_eq!(loaded.num_edges(), net.num_edges());
+    }
+
+    #[test]
+    fn roundtrip_preserves_frequencies() {
+        let net = sample();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let loaded = load_network(std::io::Cursor::new(&buf)).unwrap();
+        for item in net.items_in_use().into_iter().take(10) {
+            let p = Pattern::singleton(item);
+            for v in 0..net.num_vertices() as u32 {
+                assert!(
+                    (net.frequency(v, &p) - loaded.frequency(v, &p)).abs() < 1e-12,
+                    "frequency mismatch at v={v}, item={item:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_item_names() {
+        let net = sample();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let loaded = load_network(std::io::Cursor::new(&buf)).unwrap();
+        for item in net.item_space().items() {
+            assert_eq!(net.item_space().name(item), loaded.item_space().name(item));
+        }
+    }
+
+    #[test]
+    fn mining_agrees_after_roundtrip() {
+        use tc_core::{Miner, TcfiMiner};
+        let net = sample();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let loaded = load_network(std::io::Cursor::new(&buf)).unwrap();
+        let a = TcfiMiner { max_len: 2 }.mine(&net, 0.2);
+        let b = TcfiMiner { max_len: 2 }.mine(&loaded, 0.2);
+        assert!(a.same_trusses(&b));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = sample();
+        let dir = std::env::temp_dir().join("tc_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.dbnet");
+        save_network_to_path(&net, &path).unwrap();
+        let loaded = load_network_from_path(&path).unwrap();
+        assert_eq!(loaded.stats(), net.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load_network(std::io::Cursor::new(b"garbage" as &[u8])).is_err());
+        assert!(load_network(std::io::Cursor::new(b"dbnet v1\nitems zero\n" as &[u8])).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let text = "dbnet v1\nitems 1\ni 0 x\nvertices 2\nedges 1\ne 0 5\nend\n";
+        assert!(load_network(std::io::Cursor::new(text.as_bytes())).is_err());
+    }
+}

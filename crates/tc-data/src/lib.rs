@@ -1,0 +1,35 @@
+//! Dataset generators and I/O for database networks.
+//!
+//! The paper evaluates on Brightkite (BK), Gowalla (GW), AMINER, and a
+//! JUNG-generated synthetic network (SYN). None of those raw dumps are
+//! available offline, so this crate generates networks with the same
+//! *consumed shape* — what the miners see is only (graph, vertex
+//! databases), and each generator reproduces the construction § 7
+//! describes:
+//!
+//! * [`checkin`] — friend groups co-visiting location sets, check-ins cut
+//!   into periods (BK / GW substitute);
+//! * [`coauthor`] — research groups with topic-keyword papers and
+//!   interdisciplinary bridge authors (AMINER substitute);
+//! * [`synthetic`] — the paper's own SYN procedure (seed vertices, BFS
+//!   propagation, 10% mutation, `⌈e^{0.1·d}⌉` transactions);
+//! * [`planted`] — ground-truth communities for accuracy validation (ours,
+//!   not the paper's);
+//! * [`graphs`] — random graph substrates (preferential attachment,
+//!   Erdős–Rényi, Watts–Strogatz);
+//! * [`vocab`] — human-readable item vocabularies for case-study output;
+//! * [`io`] — a versioned text format for saving and loading networks.
+
+pub mod checkin;
+pub mod coauthor;
+pub mod graphs;
+pub mod io;
+pub mod planted;
+pub mod synthetic;
+pub mod vocab;
+
+pub use checkin::{generate_checkin, CheckinConfig, CheckinNetwork};
+pub use coauthor::{generate_coauthor, CoauthorConfig, CoauthorNetwork};
+pub use io::{load_network, load_network_from_path, save_network, save_network_to_path};
+pub use planted::{generate_planted, PlantedCommunity, PlantedConfig, PlantedNetwork};
+pub use synthetic::{generate_synthetic, SynConfig};

@@ -1,0 +1,314 @@
+//! Planted theme communities with known ground truth.
+//!
+//! Not part of the paper's experiments — this generator exists to *validate*
+//! the miners: it plants dense communities whose members frequently exhibit
+//! a chosen pattern, embeds them in background noise, and reports the
+//! ground truth so tests can measure precision/recall (and quantify exactly
+//! what the TCS `ε` pre-filter loses).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_txdb::{Item, ItemSpace, Pattern};
+
+/// Configuration for [`generate_planted`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Vertices per community.
+    pub community_size: usize,
+    /// Vertices shared between community `i` and `i+1` (overlap).
+    pub overlap: usize,
+    /// Items per planted pattern.
+    pub pattern_len: usize,
+    /// `|S|` — the item universe (must exceed `communities · pattern_len`).
+    pub items: usize,
+    /// Frequency of the planted pattern on members (`0 < freq ≤ 1`).
+    pub freq: f64,
+    /// Transactions per vertex database.
+    pub transactions_per_vertex: usize,
+    /// Extra background vertices with random databases.
+    pub background_vertices: usize,
+    /// Edge probability inside a community (1.0 = clique).
+    pub intra_edge_prob: f64,
+    /// Edge probability elsewhere.
+    pub background_edge_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            communities: 4,
+            community_size: 8,
+            overlap: 0,
+            pattern_len: 2,
+            items: 120,
+            freq: 0.8,
+            transactions_per_vertex: 20,
+            background_vertices: 30,
+            intra_edge_prob: 1.0,
+            background_edge_prob: 0.02,
+            seed: 42,
+        }
+    }
+}
+
+/// One planted community: the pattern and its member vertices.
+#[derive(Debug, Clone)]
+pub struct PlantedCommunity {
+    /// The planted theme.
+    pub pattern: Pattern,
+    /// Member vertices, sorted.
+    pub vertices: Vec<u32>,
+}
+
+/// The generated network with its ground truth.
+#[derive(Debug)]
+pub struct PlantedNetwork {
+    /// The database network.
+    pub network: DatabaseNetwork,
+    /// The planted communities.
+    pub truth: Vec<PlantedCommunity>,
+}
+
+/// Generates a network with planted theme communities (see module docs).
+pub fn generate_planted(cfg: &PlantedConfig) -> PlantedNetwork {
+    assert!(cfg.items > cfg.communities * cfg.pattern_len);
+    assert!(cfg.freq > 0.0 && cfg.freq <= 1.0);
+    assert!(cfg.overlap < cfg.community_size);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = DatabaseNetworkBuilder::new();
+    b.set_item_space(ItemSpace::anonymous(cfg.items));
+    let all_items: Vec<Item> = (0..cfg.items as u32).map(Item).collect();
+
+    // Reserve the first communities·pattern_len items for planted patterns
+    // so patterns are disjoint; noise draws from the remainder.
+    let noise_pool: Vec<Item> = all_items[cfg.communities * cfg.pattern_len..].to_vec();
+
+    let mut truth = Vec::with_capacity(cfg.communities);
+    let mut next_vertex = 0u32;
+    let mut last_members: Vec<u32> = Vec::new();
+    for c in 0..cfg.communities {
+        let pattern_items: Vec<Item> =
+            all_items[c * cfg.pattern_len..(c + 1) * cfg.pattern_len].to_vec();
+        let pattern = Pattern::new(pattern_items.clone());
+
+        // Members: `overlap` carried over from the previous community.
+        let mut members: Vec<u32> = last_members
+            .iter()
+            .rev()
+            .take(cfg.overlap)
+            .copied()
+            .collect();
+        while members.len() < cfg.community_size {
+            members.push(next_vertex);
+            next_vertex += 1;
+        }
+        members.sort_unstable();
+
+        // Databases: the pattern appears in *exactly* ⌈freq·h⌉ transactions,
+        // so every member has the same deterministic planted frequency —
+        // this makes TCS's strict ε-threshold behaviour reproducible in
+        // the accuracy experiments (Bernoulli planting lets realized
+        // frequencies stray across the threshold).
+        let planted_count =
+            ((cfg.freq * cfg.transactions_per_vertex as f64).ceil() as usize)
+                .clamp(1, cfg.transactions_per_vertex);
+        for &v in &members {
+            for t_idx in 0..cfg.transactions_per_vertex {
+                let mut t: Vec<Item> = Vec::with_capacity(cfg.pattern_len + 2);
+                if t_idx < planted_count {
+                    t.extend_from_slice(&pattern_items);
+                }
+                let noise_n = rng.gen_range(1..=2);
+                for _ in 0..noise_n {
+                    t.push(*noise_pool.choose(&mut rng).expect("noise pool nonempty"));
+                }
+                t.sort_unstable();
+                t.dedup();
+                b.add_transaction(v, &t);
+            }
+        }
+
+        // Intra-community edges.
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if cfg.intra_edge_prob >= 1.0 || rng.gen_bool(cfg.intra_edge_prob) {
+                    b.add_edge(members[i], members[j]);
+                }
+            }
+        }
+        last_members = members.clone();
+        truth.push(PlantedCommunity {
+            pattern,
+            vertices: members,
+        });
+    }
+
+    // Background vertices: random noise databases.
+    let background_start = next_vertex;
+    for _ in 0..cfg.background_vertices {
+        let v = next_vertex;
+        next_vertex += 1;
+        for _ in 0..cfg.transactions_per_vertex {
+            let n = rng.gen_range(1..=3);
+            let mut t: Vec<Item> = noise_pool
+                .choose_multiple(&mut rng, n)
+                .copied()
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            b.add_transaction(v, &t);
+        }
+    }
+
+    // Background edges over the whole vertex set.
+    let n = next_vertex;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            // Skip intra-community pairs (already handled).
+            let both_planted = u < background_start && v < background_start;
+            let same_community = both_planted
+                && truth
+                    .iter()
+                    .any(|t| t.vertices.contains(&u) && t.vertices.contains(&v));
+            if !same_community && rng.gen_bool(cfg.background_edge_prob) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    if n > 0 {
+        b.ensure_vertex(n - 1);
+    }
+
+    PlantedNetwork {
+        network: b.build().expect("planted items all interned"),
+        truth,
+    }
+}
+
+/// Precision/recall of a mined vertex set against a planted community.
+pub fn vertex_precision_recall(mined: &[u32], truth: &[u32]) -> (f64, f64) {
+    if mined.is_empty() {
+        return (0.0, 0.0);
+    }
+    let truth_set: std::collections::HashSet<u32> = truth.iter().copied().collect();
+    let hits = mined.iter().filter(|v| truth_set.contains(v)).count();
+    (
+        hits as f64 / mined.len() as f64,
+        hits as f64 / truth.len().max(1) as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{Miner, TcfiMiner};
+
+    #[test]
+    fn shape() {
+        let cfg = PlantedConfig::default();
+        let out = generate_planted(&cfg);
+        assert_eq!(out.truth.len(), cfg.communities);
+        let planted_vertices = cfg.communities * cfg.community_size;
+        assert_eq!(
+            out.network.num_vertices(),
+            planted_vertices + cfg.background_vertices
+        );
+    }
+
+    #[test]
+    fn miner_recovers_planted_communities() {
+        let cfg = PlantedConfig::default();
+        let out = generate_planted(&cfg);
+        // Planted pattern frequency ≈ 0.8 on members; cliques of size 8
+        // give each edge 6 triangles → eco ≈ 6·0.8. Mine well below that.
+        let result = TcfiMiner::default().mine(&out.network, 1.0);
+        for planted in &out.truth {
+            let truss = result
+                .truss_of(&planted.pattern)
+                .unwrap_or_else(|| panic!("planted pattern {} not found", planted.pattern));
+            let (precision, recall) =
+                vertex_precision_recall(&truss.vertices, &planted.vertices);
+            assert!(precision >= 0.99, "precision {precision}");
+            assert!(recall >= 0.99, "recall {recall}");
+        }
+    }
+
+    #[test]
+    fn overlap_produces_shared_vertices() {
+        let cfg = PlantedConfig {
+            overlap: 3,
+            ..PlantedConfig::default()
+        };
+        let out = generate_planted(&cfg);
+        for w in out.truth.windows(2) {
+            let a: std::collections::HashSet<u32> = w[0].vertices.iter().copied().collect();
+            let shared = w[1].vertices.iter().filter(|v| a.contains(v)).count();
+            assert_eq!(shared, 3);
+        }
+    }
+
+    #[test]
+    fn precision_recall_math() {
+        assert_eq!(vertex_precision_recall(&[], &[1, 2]), (0.0, 0.0));
+        let (p, r) = vertex_precision_recall(&[1, 2, 3, 9], &[1, 2, 3, 4]);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert!((r - 0.75).abs() < 1e-12);
+        let (p, r) = vertex_precision_recall(&[1], &[1]);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_planted(&PlantedConfig::default());
+        let b = generate_planted(&PlantedConfig::default());
+        assert_eq!(a.network.stats(), b.network.stats());
+    }
+
+    #[test]
+    fn planted_frequency_is_exact() {
+        let cfg = PlantedConfig {
+            freq: 0.25,
+            transactions_per_vertex: 20,
+            ..PlantedConfig::default()
+        };
+        let out = generate_planted(&cfg);
+        for truth in &out.truth {
+            for &v in &truth.vertices {
+                let f = out.network.frequency(v, &truth.pattern);
+                assert!(
+                    (f - 0.25).abs() < 1e-12,
+                    "member {v}: frequency {f} != 0.25 exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tcs_epsilon_threshold_behaviour_is_crisp() {
+        // With exact planted frequencies, the strict ε filter is decisive:
+        // ε below the planted frequency keeps the theme, ε at/above drops it.
+        let cfg = PlantedConfig {
+            freq: 0.25,
+            transactions_per_vertex: 20,
+            communities: 2,
+            ..PlantedConfig::default()
+        };
+        let out = generate_planted(&cfg);
+        use tc_core::{Miner, TcsMiner};
+        let kept = TcsMiner::with_epsilon(0.2).mine(&out.network, 0.1);
+        let dropped = TcsMiner::with_epsilon(0.25).mine(&out.network, 0.1);
+        for truth in &out.truth {
+            assert!(kept.truss_of(&truth.pattern).is_some(), "ε=0.2 keeps");
+            assert!(
+                dropped.truss_of(&truth.pattern).is_none(),
+                "ε=0.25 drops (strict inequality)"
+            );
+        }
+    }
+}

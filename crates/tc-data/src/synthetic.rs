@@ -1,0 +1,272 @@
+//! The SYN generator — §7's synthetic database network, reproduced from its
+//! textual specification.
+//!
+//! The paper: (1) generate a network with JUNG (we substitute preferential
+//! attachment — any scale-free generator exercises the same code paths);
+//! (2) pick `seeds` random seed vertices and fill their databases with
+//! random itemsets; (3) BFS outward — each non-seed vertex samples
+//! transactions from already-filled neighbour databases and mutates 10% of
+//! the items to random items of `S`, so nearby vertices share patterns;
+//! (4) vertex `v` gets `⌈e^{0.1·d(v)}⌉` transactions of length
+//! `⌈e^{0.13·d(v)}⌉` (capped — the exponential is the paper's rule; caps
+//! keep hub databases bounded on laptop-scale runs).
+
+use crate::graphs::preferential_attachment;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_txdb::{Item, ItemSpace};
+
+/// Configuration for [`generate_synthetic`].
+#[derive(Debug, Clone)]
+pub struct SynConfig {
+    /// Number of vertices (paper: 10⁶).
+    pub vertices: usize,
+    /// Preferential-attachment degree (paper's network has ~10 edges per
+    /// vertex; `m = 5` doubles to ≈10).
+    pub edges_per_vertex: usize,
+    /// Number of seed vertices whose databases are random (paper: 1000).
+    pub seeds: usize,
+    /// `|S|` — the item universe (paper: 10⁴).
+    pub items: usize,
+    /// Fraction of items mutated when copying a neighbour transaction
+    /// (paper: 0.1).
+    pub mutation: f64,
+    /// Cap on transactions per vertex (`⌈e^{0.1·d}⌉` grows fast on hubs).
+    pub max_transactions: usize,
+    /// Cap on items per transaction (`⌈e^{0.13·d}⌉` likewise).
+    pub max_transaction_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynConfig {
+    fn default() -> Self {
+        SynConfig {
+            vertices: 2_000,
+            edges_per_vertex: 5,
+            seeds: 20,
+            items: 500,
+            mutation: 0.1,
+            max_transactions: 64,
+            max_transaction_len: 24,
+            seed: 42,
+        }
+    }
+}
+
+/// The paper's per-vertex transaction count rule: `⌈e^{0.1·d(v)}⌉`, capped.
+pub fn transactions_for_degree(degree: usize, cap: usize) -> usize {
+    ((0.1 * degree as f64).exp().ceil() as usize).clamp(1, cap)
+}
+
+/// The paper's transaction length rule: `⌈e^{0.13·d(v)}⌉`, capped.
+pub fn transaction_len_for_degree(degree: usize, cap: usize) -> usize {
+    ((0.13 * degree as f64).exp().ceil() as usize).clamp(1, cap)
+}
+
+/// Generates the SYN database network (see module docs).
+pub fn generate_synthetic(cfg: &SynConfig) -> DatabaseNetwork {
+    assert!(cfg.vertices > cfg.edges_per_vertex);
+    assert!(cfg.items >= 2);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let graph = preferential_attachment(cfg.vertices, cfg.edges_per_vertex, &mut rng);
+
+    let mut b = DatabaseNetworkBuilder::new();
+    b.set_item_space(ItemSpace::anonymous(cfg.items));
+    let all_items: Vec<Item> = (0..cfg.items as u32).map(Item).collect();
+
+    // Horizontal staging: we need neighbour databases before freezing.
+    let mut staged: Vec<Vec<Vec<Item>>> = vec![Vec::new(); cfg.vertices];
+
+    // Step 1: seed vertices with random itemset databases.
+    let mut order: Vec<u32> = (0..cfg.vertices as u32).collect();
+    order.shuffle(&mut rng);
+    let seeds: Vec<u32> = order[..cfg.seeds.min(cfg.vertices)].to_vec();
+    for &s in &seeds {
+        let d = graph.degree(s);
+        let num_t = transactions_for_degree(d, cfg.max_transactions);
+        let len_t = transaction_len_for_degree(d, cfg.max_transaction_len);
+        for _ in 0..num_t {
+            let t: Vec<Item> = all_items
+                .choose_multiple(&mut rng, len_t.min(all_items.len()))
+                .copied()
+                .collect();
+            staged[s as usize].push(t);
+        }
+    }
+
+    // Step 2: multi-source BFS; each newly reached vertex samples from
+    // already-filled neighbours and mutates `mutation` of the items.
+    let mut filled: Vec<bool> = vec![false; cfg.vertices];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for &s in &seeds {
+        filled[s as usize] = true;
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if filled[v as usize] {
+                continue;
+            }
+            filled[v as usize] = true;
+            queue.push_back(v);
+
+            let d = graph.degree(v);
+            let num_t = transactions_for_degree(d, cfg.max_transactions);
+            let len_t = transaction_len_for_degree(d, cfg.max_transaction_len);
+            // Filled neighbours to copy from (at least `u`).
+            let sources: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| filled[w as usize] && !staged[w as usize].is_empty())
+                .collect();
+            for _ in 0..num_t {
+                let mut t: Vec<Item> = if let Some(&src) = sources.choose(&mut rng) {
+                    staged[src as usize]
+                        .choose(&mut rng)
+                        .expect("source nonempty")
+                        .clone()
+                } else {
+                    all_items
+                        .choose_multiple(&mut rng, len_t.min(all_items.len()))
+                        .copied()
+                        .collect()
+                };
+                // Mutate ~10% of the items to random items of S.
+                for slot in t.iter_mut() {
+                    if rng.gen_bool(cfg.mutation.clamp(0.0, 1.0)) {
+                        *slot = *all_items.choose(&mut rng).expect("nonempty");
+                    }
+                }
+                t.truncate(len_t);
+                t.sort_unstable();
+                t.dedup();
+                staged[v as usize].push(t);
+            }
+        }
+    }
+
+    // Any vertex unreached by BFS (disconnected leftovers) gets a random db.
+    for (v, db) in staged.iter_mut().enumerate() {
+        if db.is_empty() {
+            let d = graph.degree(v as u32);
+            let num_t = transactions_for_degree(d, cfg.max_transactions);
+            let len_t = transaction_len_for_degree(d, cfg.max_transaction_len);
+            for _ in 0..num_t {
+                let t: Vec<Item> = all_items
+                    .choose_multiple(&mut rng, len_t.min(all_items.len()))
+                    .copied()
+                    .collect();
+                db.push(t);
+            }
+        }
+    }
+
+    // Freeze: edges then databases.
+    for (u, v) in graph.edges() {
+        b.add_edge(u, v);
+    }
+    for (v, db) in staged.into_iter().enumerate() {
+        for t in db {
+            b.add_transaction(v as u32, &t);
+        }
+    }
+    b.ensure_vertex(cfg.vertices as u32 - 1);
+    b.build().expect("synthetic items all interned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_txdb::Pattern;
+
+    fn small() -> SynConfig {
+        SynConfig {
+            vertices: 300,
+            edges_per_vertex: 3,
+            seeds: 8,
+            items: 100,
+            ..SynConfig::default()
+        }
+    }
+
+    #[test]
+    fn shape() {
+        let net = generate_synthetic(&small());
+        assert_eq!(net.num_vertices(), 300);
+        assert!(net.num_edges() >= 3 * (300 - 4));
+        let stats = net.stats();
+        assert!(stats.transactions >= 300, "every vertex has ≥1 transaction");
+        assert!(stats.items_unique <= 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_synthetic(&small());
+        let b = generate_synthetic(&small());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn transaction_rules_match_paper_formulas() {
+        assert_eq!(transactions_for_degree(0, 100), 1); // ⌈e^0⌉ = 1
+        assert_eq!(transactions_for_degree(10, 100), 3); // ⌈e^1⌉ = 3
+        assert_eq!(transactions_for_degree(30, 100), 21); // ⌈e^3⌉ = 21
+        assert_eq!(transactions_for_degree(100, 64), 64); // capped
+        assert_eq!(transaction_len_for_degree(10, 100), 4); // ⌈e^1.3⌉ = 4
+        assert_eq!(transaction_len_for_degree(100, 24), 24); // capped
+    }
+
+    #[test]
+    fn neighbours_share_patterns() {
+        // The point of BFS propagation: adjacent vertices' databases overlap
+        // far more than random pairs. Compare mean shared-item counts.
+        let net = generate_synthetic(&small());
+        let g = net.graph();
+        let items_of = |v: u32| -> std::collections::HashSet<u32> {
+            net.database(v).items().map(|i| i.0).collect()
+        };
+        let mut adjacent_overlap = 0.0;
+        let mut adjacent_pairs = 0;
+        for (u, v) in g.edges().take(300) {
+            let a = items_of(u);
+            let bset = items_of(v);
+            adjacent_overlap += a.intersection(&bset).count() as f64;
+            adjacent_pairs += 1;
+        }
+        let mut random_overlap = 0.0;
+        let mut random_pairs = 0;
+        for i in 0..300u32 {
+            let u = i % 300;
+            let v = (i * 7 + 123) % 300;
+            if u != v && !g.has_edge(u, v) {
+                let a = items_of(u);
+                let bset = items_of(v);
+                random_overlap += a.intersection(&bset).count() as f64;
+                random_pairs += 1;
+            }
+        }
+        let adj_mean = adjacent_overlap / adjacent_pairs as f64;
+        let rnd_mean = random_overlap / random_pairs as f64;
+        assert!(
+            adj_mean > rnd_mean,
+            "adjacent overlap {adj_mean:.2} should exceed random {rnd_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn some_theme_exists() {
+        // The propagation must create at least one item frequent enough
+        // somewhere to induce a nontrivial theme network.
+        let net = generate_synthetic(&small());
+        let any_theme = net.items_in_use().iter().take(50).any(|&item| {
+            let theme = tc_core::ThemeNetwork::induce(&net, &Pattern::singleton(item));
+            theme.num_edges() > 0
+        });
+        assert!(any_theme);
+    }
+}

@@ -1,0 +1,231 @@
+//! Vocabularies for human-readable generated datasets.
+//!
+//! The case study (§7.4, Table 4, Figure 6) reports communities in terms of
+//! research keywords and author names. The generators draw from these fixed
+//! vocabularies so that demo output reads like the paper's tables rather
+//! than `item_1382`.
+
+/// Research topics with representative keywords, modelled on the themes of
+/// the paper's Table 4 (data mining sub-disciplines plus neighbouring
+/// areas).
+pub const TOPICS: &[(&str, &[&str])] = &[
+    (
+        "sequential patterns",
+        &[
+            "data mining",
+            "sequential pattern",
+            "pattern growth",
+            "projected database",
+            "prefix span",
+            "episode mining",
+            "event sequence",
+            "temporal pattern",
+        ],
+    ),
+    (
+        "intrusion detection",
+        &[
+            "data mining",
+            "intrusion detection",
+            "anomaly detection",
+            "network security",
+            "audit data",
+            "misuse detection",
+            "alarm correlation",
+            "system call",
+        ],
+    ),
+    (
+        "frequent patterns",
+        &[
+            "data mining",
+            "search space",
+            "complete set",
+            "pattern mining",
+            "frequent itemset",
+            "association rule",
+            "candidate generation",
+            "minimum support",
+        ],
+    ),
+    (
+        "privacy",
+        &[
+            "data mining",
+            "sensitive information",
+            "privacy protection",
+            "anonymization",
+            "k anonymity",
+            "data publishing",
+            "differential privacy",
+            "utility loss",
+        ],
+    ),
+    (
+        "dimensionality reduction",
+        &[
+            "principal component analysis",
+            "linear discriminant analysis",
+            "dimensionality reduction",
+            "component analysis",
+            "feature extraction",
+            "subspace learning",
+            "manifold learning",
+            "eigen decomposition",
+        ],
+    ),
+    (
+        "image retrieval",
+        &[
+            "image retrieval",
+            "image database",
+            "relevance feedback",
+            "semantic gap",
+            "visual feature",
+            "content based",
+            "query by example",
+            "similarity search",
+        ],
+    ),
+    (
+        "graph mining",
+        &[
+            "graph mining",
+            "dense subgraph",
+            "community detection",
+            "truss decomposition",
+            "core decomposition",
+            "clique enumeration",
+            "graph pattern",
+            "cohesive subgraph",
+        ],
+    ),
+    (
+        "recommendation",
+        &[
+            "recommender system",
+            "collaborative filtering",
+            "matrix factorization",
+            "implicit feedback",
+            "cold start",
+            "rating prediction",
+            "user preference",
+            "item embedding",
+        ],
+    ),
+];
+
+/// Generic paper keywords that appear across *all* research topics — the
+/// "experimental results"-type filler every abstract contains. These create
+/// the diffuse cross-community co-occurrence real corpora have: patterns
+/// pairing a generic keyword with a topic keyword are frequent on scattered
+/// vertices whose trusses do not intersect, which is exactly the candidate
+/// population TCFI prunes and TCFA must run MPTD on (§7.1).
+pub const GENERIC_KEYWORDS: &[&str] = &[
+    "novel approach",
+    "experimental results",
+    "proposed method",
+    "real world",
+    "state of the art",
+    "evaluation",
+];
+
+/// Location names for the check-in generators (BK / GW analogs).
+pub const LOCATION_KINDS: &[&str] = &[
+    "cafe", "gym", "park", "office", "library", "cinema", "market", "stadium", "museum", "pier",
+    "plaza", "bakery", "arcade", "harbor", "garden", "tower",
+];
+
+/// District qualifiers combined with [`LOCATION_KINDS`] to name locations.
+pub const DISTRICTS: &[&str] = &[
+    "north", "south", "east", "west", "old-town", "riverside", "uptown", "midtown", "harbor",
+    "hilltop", "lakeside", "central",
+];
+
+/// Product names for the social e-commerce examples.
+pub const PRODUCTS: &[&str] = &[
+    "beer", "diapers", "espresso beans", "yoga mat", "protein powder", "running shoes",
+    "board game", "graphic novel", "mechanical keyboard", "webcam", "desk lamp",
+    "standing desk", "noise-cancelling headphones", "water bottle", "climbing chalk",
+    "trail mix", "camping stove", "sleeping bag", "guitar strings", "paint brushes",
+];
+
+/// Given names for generated authors/users.
+pub const GIVEN_NAMES: &[&str] = &[
+    "Wei", "Jian", "Lin", "Mei", "Ana", "Ravi", "Sofia", "Omar", "Yuki", "Elena", "Tomas",
+    "Aisha", "Noah", "Priya", "Ivan", "Lucia", "Chen", "Maria", "Amir", "Dana",
+];
+
+/// Family names for generated authors/users.
+pub const FAMILY_NAMES: &[&str] = &[
+    "Chu", "Pei", "Wang", "Zhang", "Yang", "Garcia", "Kumar", "Tanaka", "Novak", "Rossi",
+    "Haddad", "Okafor", "Silva", "Ivanov", "Larsen", "Moreau", "Nguyen", "Schmidt", "Costa",
+    "Petrov",
+];
+
+/// A deterministic person name for index `i` (distinct for `i < 400`).
+pub fn person_name(i: usize) -> String {
+    let given = GIVEN_NAMES[i % GIVEN_NAMES.len()];
+    let family = FAMILY_NAMES[(i / GIVEN_NAMES.len()) % FAMILY_NAMES.len()];
+    if i < GIVEN_NAMES.len() * FAMILY_NAMES.len() {
+        format!("{given} {family}")
+    } else {
+        format!("{given} {family} {}", i / (GIVEN_NAMES.len() * FAMILY_NAMES.len()))
+    }
+}
+
+/// A deterministic location name for index `i`.
+pub fn location_name(i: usize) -> String {
+    let kind = LOCATION_KINDS[i % LOCATION_KINDS.len()];
+    let district = DISTRICTS[(i / LOCATION_KINDS.len()) % DISTRICTS.len()];
+    if i < LOCATION_KINDS.len() * DISTRICTS.len() {
+        format!("{district} {kind}")
+    } else {
+        format!("{district} {kind} {}", i / (LOCATION_KINDS.len() * DISTRICTS.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topics_have_enough_keywords() {
+        assert!(TOPICS.len() >= 6);
+        for (name, kws) in TOPICS {
+            assert!(kws.len() >= 6, "topic {name} too small");
+        }
+    }
+
+    #[test]
+    fn person_names_distinct_in_range() {
+        let names: std::collections::HashSet<String> = (0..400).map(person_name).collect();
+        assert_eq!(names.len(), 400);
+    }
+
+    #[test]
+    fn location_names_distinct_in_range() {
+        let n = LOCATION_KINDS.len() * DISTRICTS.len();
+        let names: std::collections::HashSet<String> = (0..n).map(location_name).collect();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn names_stable_beyond_range() {
+        // Beyond the product range, names disambiguate with a suffix.
+        let a = person_name(400);
+        let b = person_name(800);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shared_keyword_across_topics() {
+        // "data mining" spans several topics — needed so multi-topic
+        // authors create overlapping theme communities like Figure 6.
+        let with_dm = TOPICS
+            .iter()
+            .filter(|(_, kws)| kws.contains(&"data mining"))
+            .count();
+        assert!(with_dm >= 3);
+    }
+}

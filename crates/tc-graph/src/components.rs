@@ -1,0 +1,129 @@
+//! Connected components.
+//!
+//! Theme communities are defined (Definition 3.5) as the *maximal connected
+//! subgraphs* of a maximal pattern truss, so component extraction is the
+//! final step of every mining pipeline.
+
+use crate::graph::{UGraph, VertexId};
+use crate::unionfind::UnionFind;
+
+/// Per-vertex component labels plus component count.
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// `labels[v]` is the component id of `v` (`0..num_components`).
+    pub labels: Vec<u32>,
+    /// Number of distinct components.
+    pub num_components: usize,
+}
+
+impl ComponentLabels {
+    /// Groups vertex ids by component, components ordered by first vertex.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.num_components];
+        for (v, &c) in self.labels.iter().enumerate() {
+            groups[c as usize].push(v as VertexId);
+        }
+        groups
+    }
+}
+
+/// Labels the connected components of `g`, **including** isolated vertices
+/// (each isolated vertex is its own component).
+pub fn connected_components(g: &UGraph) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    compress(&mut uf, n)
+}
+
+/// Labels the components spanned by an explicit edge list over vertices
+/// `0..n`. Vertices not covered by any edge become singletons.
+pub fn components_of_edges(n: usize, edges: &[(VertexId, VertexId)]) -> ComponentLabels {
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        uf.union(u, v);
+    }
+    compress(&mut uf, n)
+}
+
+fn compress(uf: &mut UnionFind, n: usize) -> ComponentLabels {
+    let mut remap: tc_util::FxHashMap<u32, u32> = tc_util::hash::fx_map_with_capacity(16);
+    let mut labels = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        let next = remap.len() as u32;
+        let label = *remap.entry(root).or_insert(next);
+        labels.push(label);
+    }
+    ComponentLabels {
+        num_components: remap.len(),
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, UGraph};
+
+    #[test]
+    fn single_component() {
+        let g = UGraph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 1);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(2, 3);
+        b.ensure_vertex(4); // isolated
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[2], c.labels[3]);
+        assert_ne!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[4], c.labels[0]);
+        assert_ne!(c.labels[4], c.labels[2]);
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = UGraph::from_edges([(0, 1), (2, 3), (3, 4)]);
+        let c = connected_components(&g);
+        let groups = c.groups();
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_vertices());
+        assert_eq!(groups[0], vec![0, 1]);
+        assert_eq!(groups[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph_zero_components() {
+        let c = connected_components(&UGraph::empty());
+        assert_eq!(c.num_components, 0);
+        assert!(c.groups().is_empty());
+    }
+
+    #[test]
+    fn components_of_edge_list() {
+        let c = components_of_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(c.num_components, 3); // {0,1,2}, {3}, {4,5}
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[3], c.labels[0]);
+        assert_eq!(c.labels[4], c.labels[5]);
+    }
+
+    #[test]
+    fn labels_are_dense_from_zero() {
+        let g = UGraph::from_edges([(0, 1), (5, 6)]);
+        let c = connected_components(&g);
+        let max = *c.labels.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, c.num_components);
+    }
+}

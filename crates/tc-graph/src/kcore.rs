@@ -1,0 +1,147 @@
+//! k-core decomposition (Seidman 1983).
+//!
+//! The paper relates pattern trusses to k-cores (§3.2): a connected maximal
+//! pattern truss with unit frequencies and `α = k - 3` is a `(k-1)`-core.
+//! The decomposition here is the standard linear-time bucket peeling.
+
+use crate::graph::{UGraph, VertexId};
+
+/// Computes the core number of every vertex (bucket peeling, `O(n + m)`).
+pub fn core_numbers(g: &UGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0u32; max_degree + 2];
+    for &d in &degree {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut pos = vec![0u32; n]; // vertex -> index in `vert`
+    let mut vert = vec![0u32; n]; // sorted vertex order
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            pos[v as usize] = cursor[d];
+            vert[cursor[d] as usize] = v;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        for &u in g.neighbors(v) {
+            if degree[u as usize] > degree[v as usize] {
+                // Move u one bucket down: swap with first vertex of its bucket.
+                let du = degree[u as usize] as usize;
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = vert[pw as usize];
+                if u != w {
+                    vert.swap(pu as usize, pw as usize);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Vertices of the maximal k-core (every vertex has degree `≥ k` within the
+/// returned set). Sorted ascending.
+pub fn k_core(g: &UGraph, k: u32) -> Vec<VertexId> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= k)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, UGraph};
+
+    fn k4_with_tail() -> UGraph {
+        UGraph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn k4_core_numbers() {
+        let core = core_numbers(&k4_with_tail());
+        assert_eq!(core[0], 3);
+        assert_eq!(core[1], 3);
+        assert_eq!(core[2], 3);
+        assert_eq!(core[3], 3);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn k_core_extraction() {
+        let g = k4_with_tail();
+        assert_eq!(k_core(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(k_core(&g, 1).len(), 6);
+        assert!(k_core(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(3);
+        let core = core_numbers(&b.build());
+        assert_eq!(core, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn cycle_is_2core() {
+        let g = UGraph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(core_numbers(&UGraph::empty()).is_empty());
+        assert!(k_core(&UGraph::empty(), 1).is_empty());
+    }
+
+    #[test]
+    fn star_center_core_one() {
+        // A star: hub degree 5 but core number 1 (leaves peel first).
+        let g = UGraph::from_edges([(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn core_number_vs_truss_relation() {
+        // Paper §3.2: a k-truss (connected) is a (k-1)-core. Check on K5.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = UGraph::from_edges(edges);
+        let truss_edges = crate::ktruss::k_truss(&g, 5);
+        let verts = crate::ktruss::edge_set_vertices(&truss_edges);
+        let cores = core_numbers(&g);
+        for v in verts {
+            assert!(cores[v as usize] >= 4, "k-truss vertex in (k-1)-core");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural graph metrics used to characterise generated datasets.
+//!
+//! Truss-based community detection lives and dies by triangle density, so
+//! the generators' outputs are sanity-checked (and the CLI's `stats`
+//! subcommand reports) clustering behaviour and degree shape.
+
+use crate::graph::{UGraph, VertexId};
+use crate::triangles::merge_common;
+
+/// The local clustering coefficient of `v`: the fraction of its neighbor
+/// pairs that are themselves adjacent. `0.0` for degree < 2.
+pub fn local_clustering(g: &UGraph, v: VertexId) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    let ns = g.neighbors(v);
+    for &u in ns {
+        merge_common(ns, g.neighbors(u), |w| {
+            if w > u {
+                closed += 1;
+            }
+        });
+    }
+    // Each closed pair {u, w} with u < w was counted once at u.
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// The average local clustering coefficient over vertices with degree ≥ 2
+/// (Watts–Strogatz definition restricted to meaningful vertices).
+/// `0.0` when no such vertex exists.
+pub fn average_clustering(g: &UGraph) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in 0..g.num_vertices() as VertexId {
+        if g.degree(v) >= 2 {
+            sum += local_clustering(g, v);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Global transitivity: `3·#triangles / #wedges` (paths of length 2).
+/// `0.0` when the graph has no wedge.
+pub fn transitivity(g: &UGraph) -> f64 {
+    let wedges: u64 = (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * crate::triangles::count_triangles(g) as f64 / wedges as f64
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &UGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() as VertexId {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Mean degree (`2m / n`); `0.0` for the empty graph.
+pub fn mean_degree(g: &UGraph) -> f64 {
+    if g.num_vertices() == 0 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / g.num_vertices() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, UGraph};
+
+    fn triangle() -> UGraph {
+        UGraph::from_edges([(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = triangle();
+        for v in 0..3 {
+            assert_eq!(local_clustering(&g, v), 1.0);
+        }
+        assert_eq!(average_clustering(&g), 1.0);
+        assert_eq!(transitivity(&g), 1.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = UGraph::from_edges([(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn low_degree_vertices_are_zero() {
+        let g = UGraph::from_edges([(0, 1)]);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_partial_clustering() {
+        // Triangle 0-1-2 plus pendant 3 on vertex 2.
+        let g = UGraph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        assert_eq!(local_clustering(&g, 1), 1.0);
+        // Vertex 2: neighbors {0,1,3}; one closed pair of three.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        // Transitivity: 3·1 / (1 + 1 + 3 + 0) = 3/5.
+        assert!((transitivity(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+        b.ensure_vertex(4);
+        let g = b.build();
+        // degrees: 3,1,1,1,0
+        assert_eq!(degree_histogram(&g), vec![1, 3, 0, 1]);
+    }
+
+    #[test]
+    fn mean_degree_empty_and_simple() {
+        assert_eq!(mean_degree(&UGraph::empty()), 0.0);
+        assert_eq!(mean_degree(&triangle()), 2.0);
+    }
+
+    #[test]
+    fn small_world_is_more_clustered_than_star_chain() {
+        // Sanity link to the generators: lattice-heavy graphs cluster.
+        let ring: Vec<(u32, u32)> = (0..12u32)
+            .flat_map(|i| [(i, (i + 1) % 12), (i, (i + 2) % 12)])
+            .collect();
+        let g = UGraph::from_edges(ring);
+        assert!(average_clustering(&g) > 0.3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Breadth-first edge sampling.
+//!
+//! §7.1 of the paper: *"we use small database networks that are sampled from
+//! the original database networks by performing a breadth first search from
+//! a randomly picked seed vertex"*, stopping once a target number of edges
+//! has been collected. The sample keeps original vertex ids so the caller
+//! can carry vertex databases across.
+
+use crate::graph::{EdgeKey, UGraph, VertexId};
+use std::collections::VecDeque;
+use tc_util::FxHashSet;
+
+/// Collects approximately `target_edges` edges by BFS from `seed`.
+///
+/// The walk visits vertices in BFS discovery order; when a vertex is
+/// admitted to the sample, every edge from it to an already-admitted vertex
+/// is emitted. The walk stops as soon as the target is reached (the result
+/// may exceed it by less than one vertex's degree, mirroring the paper's
+/// "sampled database networks with 10,000 edges"). Edges are returned in
+/// canonical sorted order.
+///
+/// Returns an empty list when `seed` is out of range or `target_edges == 0`.
+pub fn bfs_edge_sample(g: &UGraph, seed: VertexId, target_edges: usize) -> Vec<EdgeKey> {
+    if (seed as usize) >= g.num_vertices() || target_edges == 0 {
+        return Vec::new();
+    }
+
+    // Pass 1: BFS discovery order from the seed.
+    let mut seen: FxHashSet<VertexId> = tc_util::hash::fx_set_with_capacity(target_edges / 2);
+    let mut queue = VecDeque::new();
+    let mut order = Vec::new();
+    seen.insert(seed);
+    queue.push_back(seed);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if seen.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+
+    // Pass 2: admit vertices in discovery order; emit edges into the
+    // already-admitted prefix until the target is met. Each edge is emitted
+    // exactly once — at its later-admitted endpoint.
+    let mut edges = Vec::with_capacity(target_edges);
+    let mut admitted: FxHashSet<VertexId> = tc_util::hash::fx_set_with_capacity(order.len());
+    'outer: for &u in &order {
+        admitted.insert(u);
+        for &v in g.neighbors(u) {
+            if v != u && admitted.contains(&v) {
+                edges.push(crate::edge_key(u, v));
+                if edges.len() >= target_edges {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UGraph;
+
+    fn grid(w: u32, h: u32) -> UGraph {
+        let mut edges = Vec::new();
+        let idx = |x: u32, y: u32| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        UGraph::from_edges(edges)
+    }
+
+    #[test]
+    fn sample_reaches_target() {
+        let g = grid(20, 20);
+        let edges = bfs_edge_sample(&g, 0, 100);
+        assert!(edges.len() >= 100);
+        assert!(edges.len() <= g.num_edges());
+    }
+
+    #[test]
+    fn sample_is_subset_of_graph() {
+        let g = grid(10, 10);
+        for &(u, v) in &bfs_edge_sample(&g, 5, 50) {
+            assert!(g.has_edge(u, v));
+            assert!(u < v, "canonical form");
+        }
+    }
+
+    #[test]
+    fn sample_whole_graph_when_target_large() {
+        let g = grid(5, 5);
+        let edges = bfs_edge_sample(&g, 0, 10_000);
+        assert_eq!(edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn sample_connected() {
+        // A BFS sample must induce a connected subgraph.
+        let g = grid(15, 15);
+        let edges = bfs_edge_sample(&g, 7, 80);
+        let verts = crate::ktruss::edge_set_vertices(&edges);
+        let remap: tc_util::FxHashMap<u32, u32> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let local: Vec<_> = edges.iter().map(|&(u, v)| (remap[&u], remap[&v])).collect();
+        let labels = crate::components::components_of_edges(verts.len(), &local);
+        assert_eq!(labels.num_components, 1);
+    }
+
+    #[test]
+    fn out_of_range_seed_is_empty() {
+        let g = grid(3, 3);
+        assert!(bfs_edge_sample(&g, 999, 10).is_empty());
+    }
+
+    #[test]
+    fn zero_target_is_empty() {
+        let g = grid(3, 3);
+        assert!(bfs_edge_sample(&g, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_component_not_sampled() {
+        let g = UGraph::from_edges([(0, 1), (1, 2), (5, 6), (6, 7)]);
+        let edges = bfs_edge_sample(&g, 0, 100);
+        assert!(edges.iter().all(|&(u, v)| u <= 2 && v <= 2));
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid(12, 12);
+        assert_eq!(bfs_edge_sample(&g, 3, 60), bfs_edge_sample(&g, 3, 60));
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let g = grid(8, 8);
+        let edges = bfs_edge_sample(&g, 0, 40);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use tc_graph::{
+    bfs_edge_sample, connected_components, core_numbers, count_triangles, edge_support, k_truss,
+    truss_numbers, GraphBuilder, UGraph,
+};
+
+/// Strategy: a random simple graph with up to `n` vertices and `m` candidate
+/// edges (duplicates and orientation noise included on purpose — the builder
+/// must canonicalise).
+fn arb_graph(n: u32, m: usize) -> impl Strategy<Value = UGraph> {
+    prop::collection::vec((0..n, 0..n), 0..m).prop_map(move |pairs| {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(0);
+        for (u, v) in pairs {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(30, 120)) {
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+            prop_assert!(g.neighbors(u).contains(&v));
+            prop_assert!(g.neighbors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_unique(g in arb_graph(30, 120)) {
+        for v in 0..g.num_vertices() as u32 {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+            prop_assert!(!ns.contains(&v), "no self loops");
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges(g in arb_graph(40, 150)) {
+        let sum: usize = (0..g.num_vertices() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn triangle_count_matches_brute_force(g in arb_graph(14, 50)) {
+        let n = g.num_vertices() as u32;
+        let mut brute = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                for w in (v + 1)..n {
+                    if g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(count_triangles(&g), brute);
+    }
+
+    #[test]
+    fn edge_support_matches_brute_force(g in arb_graph(14, 50)) {
+        for (u, v) in g.edges() {
+            let brute = (0..g.num_vertices() as u32)
+                .filter(|&w| w != u && w != v && g.has_edge(u, w) && g.has_edge(v, w))
+                .count();
+            prop_assert_eq!(edge_support(&g, u, v), brute);
+        }
+    }
+
+    #[test]
+    fn ktruss_every_edge_has_enough_support(g in arb_graph(16, 60), k in 3usize..6) {
+        let edges = k_truss(&g, k);
+        // Re-check support *within the truss*.
+        let sub = UGraph::from_edges(edges.iter().copied());
+        for &(u, v) in &edges {
+            prop_assert!(
+                edge_support(&sub, u, v) >= k - 2,
+                "edge ({u},{v}) support below k-2 inside the {k}-truss"
+            );
+        }
+    }
+
+    #[test]
+    fn ktruss_shrinks_with_k(g in arb_graph(16, 60)) {
+        let mut prev = g.num_edges();
+        for k in 2..7 {
+            let t = k_truss(&g, k).len();
+            prop_assert!(t <= prev, "k-truss must shrink as k grows");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn truss_numbers_consistent(g in arb_graph(12, 40)) {
+        let tn = truss_numbers(&g);
+        for k in 2..6usize {
+            let direct: std::collections::BTreeSet<_> = k_truss(&g, k).into_iter().collect();
+            let derived: std::collections::BTreeSet<_> =
+                tn.iter().filter(|&(_, &t)| t >= k).map(|(&e, _)| e).collect();
+            prop_assert_eq!(&direct, &derived, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn components_agree_with_reachability(g in arb_graph(20, 60)) {
+        let c = connected_components(&g);
+        // BFS reachability from each vertex must equal its label class.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.labels[u as usize], c.labels[v as usize]);
+        }
+        let groups = c.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn core_numbers_at_most_degree(g in arb_graph(25, 80)) {
+        let cores = core_numbers(&g);
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert!(cores[v as usize] as usize <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn kcore_internal_degree_invariant(g in arb_graph(20, 70), k in 1u32..4) {
+        let verts = tc_graph::k_core(&g, k);
+        let set: std::collections::HashSet<_> = verts.iter().copied().collect();
+        for &v in &verts {
+            let internal = g.neighbors(v).iter().filter(|w| set.contains(w)).count();
+            prop_assert!(internal >= k as usize, "vertex {v} has internal degree {internal} < {k}");
+        }
+    }
+
+    #[test]
+    fn sample_is_valid_subgraph(g in arb_graph(30, 120), target in 1usize..50) {
+        let edges = bfs_edge_sample(&g, 0, target);
+        for &(u, v) in &edges {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_edges(g in arb_graph(20, 60)) {
+        let pick: Vec<u32> = (0..g.num_vertices() as u32).filter(|v| v % 2 == 0).collect();
+        let (sub, map) = g.induced_subgraph(&pick);
+        // Every sub edge maps to a real edge.
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(map[a as usize], map[b as usize]));
+        }
+        // Every internal edge of the selection appears.
+        let set: std::collections::HashSet<_> = pick.iter().copied().collect();
+        let internal = g
+            .edges()
+            .filter(|(u, v)| set.contains(u) && set.contains(v))
+            .count();
+        prop_assert_eq!(sub.num_edges(), internal);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clustering_coefficients_in_unit_interval(g in arb_graph(25, 80)) {
+        for v in 0..g.num_vertices() as u32 {
+            let c = tc_graph::metrics::local_clustering(&g, v);
+            prop_assert!((0.0..=1.0).contains(&c), "c({v}) = {c}");
+        }
+        let avg = tc_graph::average_clustering(&g);
+        prop_assert!((0.0..=1.0).contains(&avg));
+        let t = tc_graph::transitivity(&g);
+        prop_assert!((0.0..=1.0).contains(&t), "transitivity {t}");
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_vertex_count(g in arb_graph(25, 80)) {
+        let hist = tc_graph::degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+        // Weighted sum = total degree = 2m.
+        let total: usize = hist.iter().enumerate().map(|(d, &n)| d * n).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn local_clustering_matches_bruteforce(g in arb_graph(12, 40)) {
+        for v in 0..g.num_vertices() as u32 {
+            let ns = g.neighbors(v);
+            if ns.len() < 2 { continue; }
+            let mut closed = 0;
+            for i in 0..ns.len() {
+                for j in (i + 1)..ns.len() {
+                    if g.has_edge(ns[i], ns[j]) {
+                        closed += 1;
+                    }
+                }
+            }
+            let expect = closed as f64 / (ns.len() * (ns.len() - 1) / 2) as f64;
+            let got = tc_graph::metrics::local_clustering(&g, v);
+            prop_assert!((got - expect).abs() < 1e-12, "v={v}: {got} vs {expect}");
+        }
+    }
+}

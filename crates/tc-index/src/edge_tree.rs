@@ -1,0 +1,279 @@
+//! TC-Tree construction over **edge database networks** — the second half
+//! of the paper's §8 future work ("extend TCFI *and TC-Tree* …").
+//!
+//! The TC-Tree structure is representation-agnostic: a node stores a
+//! pattern (via its branching item) and a decomposed truss `L_p`, which is
+//! just a level list of `(α_k, edge set)` — identical for vertex- and
+//! edge-held databases because Theorem 6.1 only relies on the peeling
+//! semantics. This module therefore only supplies a *builder*; the
+//! resulting [`TcTree`] answers QBA/QBP queries and round-trips through
+//! the persistence format unchanged.
+
+use crate::tree::{BuildStats, TcNode, TcTree};
+use std::collections::VecDeque;
+use tc_core::{EdgeDatabaseNetwork, TrussDecomposition};
+use tc_txdb::{Item, Pattern};
+use tc_util::Stopwatch;
+
+/// Configuration for building an edge-network TC-Tree.
+#[derive(Debug, Clone)]
+pub struct EdgeTcTreeBuilder {
+    /// Worker threads for layer 1.
+    pub threads: usize,
+    /// Maximum pattern length to index.
+    pub max_len: usize,
+}
+
+impl Default for EdgeTcTreeBuilder {
+    fn default() -> Self {
+        EdgeTcTreeBuilder {
+            threads: 4,
+            max_len: usize::MAX,
+        }
+    }
+}
+
+impl EdgeTcTreeBuilder {
+    /// Builds the TC-Tree of an edge database network (Algorithm 4 with
+    /// edge-pattern trusses).
+    pub fn build(&self, network: &EdgeDatabaseNetwork) -> TcTree {
+        let sw = Stopwatch::start();
+        let mut stats = BuildStats::default();
+        let mut nodes = vec![TcNode {
+            item: Item(0),
+            pattern: Pattern::empty(),
+            parent: 0,
+            children: Vec::new(),
+            truss: TrussDecomposition::default(),
+        }];
+
+        // Layer 1, parallel across items.
+        let items = network.items_in_use();
+        stats.candidates += items.len();
+        stats.decompositions += items.len();
+        let layer1 = decompose_items_parallel(network, &items, self.threads.max(1));
+
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for (item, truss) in layer1 {
+            if truss.is_empty() {
+                continue;
+            }
+            let id = nodes.len() as u32;
+            nodes.push(TcNode {
+                item,
+                pattern: Pattern::singleton(item),
+                parent: 0,
+                children: Vec::new(),
+                truss,
+            });
+            nodes[0].children.push(id);
+            queue.push_back(id);
+        }
+
+        // Breadth-first expansion with intersection-restricted computation.
+        while let Some(nf) = queue.pop_front() {
+            if nodes[nf as usize].pattern.len() >= self.max_len {
+                continue;
+            }
+            let parent = nodes[nf as usize].parent;
+            let f_item = nodes[nf as usize].item;
+            let siblings: Vec<u32> = nodes[parent as usize]
+                .children
+                .iter()
+                .copied()
+                .filter(|&nb| nodes[nb as usize].item > f_item)
+                .collect();
+            if siblings.is_empty() {
+                continue;
+            }
+            let f_edges = nodes[nf as usize].truss.edges_at(0.0);
+            for nb in siblings {
+                stats.candidates += 1;
+                let b_edges = nodes[nb as usize].truss.edges_at(0.0);
+                let intersection = intersect_sorted(&f_edges, &b_edges);
+                if intersection.is_empty() {
+                    stats.pruned_by_intersection += 1;
+                    continue;
+                }
+                let pattern = nodes[nf as usize]
+                    .pattern
+                    .with_item(nodes[nb as usize].item);
+                stats.decompositions += 1;
+                let truss = network.decompose_edge_truss(&pattern, Some(&intersection));
+                if truss.is_empty() {
+                    continue;
+                }
+                let id = nodes.len() as u32;
+                nodes.push(TcNode {
+                    item: nodes[nb as usize].item,
+                    pattern,
+                    parent: nf,
+                    children: Vec::new(),
+                    truss,
+                });
+                nodes[nf as usize].children.push(id);
+                queue.push_back(id);
+            }
+        }
+
+        stats.build_secs = sw.elapsed_secs();
+        TcTree::from_parts(nodes, stats)
+    }
+}
+
+fn decompose_items_parallel(
+    network: &EdgeDatabaseNetwork,
+    items: &[Item],
+    threads: usize,
+) -> Vec<(Item, TrussDecomposition)> {
+    let decompose_one =
+        |item: Item| network.decompose_edge_truss(&Pattern::singleton(item), None);
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(|&i| (i, decompose_one(i))).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let collected = parking_lot::Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, decompose_one(items[i])));
+                }
+                collected.lock().extend(local);
+            });
+        }
+    });
+    let mut indexed = collected.into_inner();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(i, d)| (items[i], d)).collect()
+}
+
+fn intersect_sorted(a: &[tc_graph::EdgeKey], b: &[tc_graph::EdgeKey]) -> Vec<tc_graph::EdgeKey> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{EdgeDatabaseNetworkBuilder, EdgeTcfiMiner};
+
+    /// Two triangles: one whose conversations are about {a, b}, one about
+    /// {b, c}, bridged by a theme-less edge.
+    fn network() -> EdgeDatabaseNetwork {
+        let mut b = EdgeDatabaseNetworkBuilder::new();
+        let ia = b.intern_item("a");
+        let ib = b.intern_item("b");
+        let ic = b.intern_item("c");
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            for _ in 0..4 {
+                b.add_transaction(u, v, &[ia, ib]);
+            }
+        }
+        for (u, v) in [(3, 4), (4, 5), (3, 5)] {
+            for _ in 0..4 {
+                b.add_transaction(u, v, &[ib, ic]);
+            }
+        }
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tree_indexes_every_qualified_edge_pattern() {
+        let net = network();
+        let tree = EdgeTcTreeBuilder::default().build(&net);
+        let mined = EdgeTcfiMiner::default().mine(&net, 0.0);
+        assert_eq!(tree.num_nodes(), mined.np());
+        // {a}, {b}, {c}, {a,b}, {b,c} — never {a,c} or {a,b,c}.
+        assert_eq!(tree.num_nodes(), 5);
+    }
+
+    #[test]
+    fn queries_match_fresh_edge_mining() {
+        let net = network();
+        let tree = EdgeTcTreeBuilder::default().build(&net);
+        for alpha in [0.0, 0.5, 0.9, 1.5] {
+            let mined = EdgeTcfiMiner::default().mine(&net, alpha);
+            let answered = tree.query_by_alpha(alpha);
+            assert_eq!(answered.retrieved_nodes, mined.np(), "alpha = {alpha}");
+            let mut got: Vec<_> = answered
+                .trusses
+                .iter()
+                .map(|t| (t.pattern.clone(), t.edges.clone()))
+                .collect();
+            got.sort();
+            let mut want: Vec<_> = mined
+                .trusses
+                .iter()
+                .map(|t| (t.pattern.clone(), t.edges.clone()))
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "alpha = {alpha}");
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let net = network();
+        let tree = EdgeTcTreeBuilder::default().build(&net);
+        let mut buf = Vec::new();
+        tree.save(&mut buf).unwrap();
+        let loaded = TcTree::load(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.num_nodes(), tree.num_nodes());
+        for alpha in [0.0, 0.5, 1.0] {
+            assert_eq!(
+                loaded.query_by_alpha(alpha).retrieved_nodes,
+                tree.query_by_alpha(alpha).retrieved_nodes
+            );
+        }
+    }
+
+    #[test]
+    fn single_vs_multi_thread_builds_agree() {
+        let net = network();
+        let t1 = EdgeTcTreeBuilder { threads: 1, max_len: usize::MAX }.build(&net);
+        let t4 = EdgeTcTreeBuilder { threads: 4, max_len: usize::MAX }.build(&net);
+        assert_eq!(t1.num_nodes(), t4.num_nodes());
+        let p1: Vec<_> = t1.nodes().iter().map(|n| n.pattern.clone()).collect();
+        let p4: Vec<_> = t4.nodes().iter().map(|n| n.pattern.clone()).collect();
+        assert_eq!(p1, p4);
+    }
+
+    #[test]
+    fn decomposition_levels_reconstruct_edge_trusses() {
+        let net = network();
+        let tree = EdgeTcTreeBuilder::default().build(&net);
+        for node in tree.nodes().iter().skip(1) {
+            for alpha in [0.0, 0.3, 0.8, 1.2] {
+                let reconstructed = node.truss.edges_at(alpha);
+                let direct = net.maximal_edge_pattern_truss(&node.pattern, alpha, None);
+                assert_eq!(reconstructed, direct.edges, "{} at {alpha}", node.pattern);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_network_builds_root_only() {
+        let net = EdgeDatabaseNetworkBuilder::new().build().unwrap();
+        let tree = EdgeTcTreeBuilder::default().build(&net);
+        assert_eq!(tree.num_nodes(), 0);
+    }
+}

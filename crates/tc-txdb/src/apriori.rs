@@ -1,0 +1,188 @@
+//! Level-wise candidate generation — Algorithm 2 of the paper.
+//!
+//! Given the set `P_{k-1}` of *qualified* length-`(k-1)` patterns, the
+//! length-`k` candidates are the unions `p ∪ q` of pairs with `|p ∪ q| = k`
+//! whose every length-`(k-1)` sub-pattern is qualified.
+//!
+//! We implement the classic prefix-join formulation: sort `P_{k-1}`
+//! lexicographically and join pairs sharing their first `k-2` items. Every
+//! length-`k` set whose two "drop one of the last two items" subsets are
+//! qualified arises from exactly one such pair, so the prefix join generates
+//! the same candidate set as the paper's "all pairs with `|p ∪ q| = k`"
+//! formulation, without the quadratic pair scan.
+//!
+//! Each candidate remembers **which** two parents joined to form it — TCFI
+//! (§5.3) intersects precisely those parents' maximal pattern trusses.
+
+use crate::pattern::Pattern;
+use tc_util::FxHashSet;
+
+/// A length-`k` candidate with the indices of its two joined parents in the
+/// (sorted) `P_{k-1}` slice passed to [`generate_candidates`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCandidate {
+    /// The union pattern `p_{k-1} ∪ q_{k-1}`.
+    pub pattern: Pattern,
+    /// Index of the lexicographically smaller parent.
+    pub left: usize,
+    /// Index of the larger parent.
+    pub right: usize,
+}
+
+/// Generates the Apriori candidates of length `k` from qualified patterns of
+/// length `k - 1` (Algorithm 2).
+///
+/// `qualified` is sorted in place (the returned parent indices refer to the
+/// sorted order). All patterns must share the same length; mixed input is a
+/// logic error and panics in debug builds.
+pub fn generate_candidates(qualified: &mut Vec<Pattern>) -> Vec<JoinCandidate> {
+    qualified.sort_unstable();
+    qualified.dedup();
+    if qualified.len() < 2 {
+        return Vec::new();
+    }
+    debug_assert!(
+        qualified.windows(2).all(|w| w[0].len() == w[1].len()),
+        "generate_candidates requires uniform pattern length"
+    );
+
+    let lookup: FxHashSet<&Pattern> = qualified.iter().collect();
+    let k = qualified[0].len() + 1;
+    let mut out = Vec::new();
+
+    // Prefix-join: patterns sharing the first k-2 items sit adjacently in
+    // lexicographic order, forming a block; join all pairs inside a block.
+    let mut block_start = 0;
+    for i in 1..=qualified.len() {
+        let block_ended =
+            i == qualified.len() || qualified[i].prefix() != qualified[block_start].prefix();
+        if !block_ended {
+            continue;
+        }
+        let block = &qualified[block_start..i];
+        for a in 0..block.len() {
+            for b in (a + 1)..block.len() {
+                let candidate = block[a].union(&block[b]);
+                debug_assert_eq!(candidate.len(), k);
+                // Apriori pruning: every (k-1)-sub-pattern must be qualified.
+                let all_qualified = candidate
+                    .k_minus_one_subsets()
+                    .all(|sub| lookup.contains(&sub));
+                if all_qualified {
+                    out.push(JoinCandidate {
+                        pattern: candidate,
+                        left: block_start + a,
+                        right: block_start + b,
+                    });
+                }
+            }
+        }
+        block_start = i;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn pat(ids: &[u32]) -> Pattern {
+        Pattern::new(ids.iter().map(|&i| Item(i)).collect())
+    }
+
+    #[test]
+    fn joins_singletons_into_pairs() {
+        let mut p1 = vec![pat(&[2]), pat(&[0]), pat(&[1])];
+        let cands = generate_candidates(&mut p1);
+        let patterns: Vec<&Pattern> = cands.iter().map(|c| &c.pattern).collect();
+        assert_eq!(patterns, vec![&pat(&[0, 1]), &pat(&[0, 2]), &pat(&[1, 2])]);
+        // Parent indices reference the sorted slice [ {0}, {1}, {2} ].
+        assert_eq!((cands[0].left, cands[0].right), (0, 1));
+        assert_eq!((cands[1].left, cands[1].right), (0, 2));
+        assert_eq!((cands[2].left, cands[2].right), (1, 2));
+    }
+
+    #[test]
+    fn prunes_candidates_with_unqualified_subsets() {
+        // {0,1}, {0,2} join to {0,1,2}, but {1,2} is not qualified → pruned.
+        let mut p2 = vec![pat(&[0, 1]), pat(&[0, 2])];
+        let cands = generate_candidates(&mut p2);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn keeps_candidates_with_all_subsets_qualified() {
+        let mut p2 = vec![pat(&[0, 1]), pat(&[0, 2]), pat(&[1, 2])];
+        let cands = generate_candidates(&mut p2);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].pattern, pat(&[0, 1, 2]));
+        // Parents are the two sharing prefix [0]: {0,1} and {0,2}.
+        assert_eq!(cands[0].left, 0);
+        assert_eq!(cands[0].right, 1);
+    }
+
+    #[test]
+    fn different_prefixes_do_not_join() {
+        // {0,1} and {2,3}: union has length 4 ≠ 3, prefix join ignores them.
+        let mut p2 = vec![pat(&[0, 1]), pat(&[2, 3])];
+        assert!(generate_candidates(&mut p2).is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_input() {
+        let mut empty: Vec<Pattern> = vec![];
+        assert!(generate_candidates(&mut empty).is_empty());
+        let mut one = vec![pat(&[4])];
+        assert!(generate_candidates(&mut one).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_merged_before_join() {
+        let mut p1 = vec![pat(&[0]), pat(&[0]), pat(&[1])];
+        let cands = generate_candidates(&mut p1);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].pattern, pat(&[0, 1]));
+    }
+
+    #[test]
+    fn level3_join() {
+        // All four 2-subsets of {0,1,2,3} minus one: check level-3 joins.
+        let mut p2 = vec![
+            pat(&[0, 1]),
+            pat(&[0, 2]),
+            pat(&[0, 3]),
+            pat(&[1, 2]),
+            pat(&[1, 3]),
+            pat(&[2, 3]),
+        ];
+        let c3 = generate_candidates(&mut p2);
+        let got: Vec<&Pattern> = c3.iter().map(|c| &c.pattern).collect();
+        assert_eq!(
+            got,
+            vec![&pat(&[0, 1, 2]), &pat(&[0, 1, 3]), &pat(&[0, 2, 3]), &pat(&[1, 2, 3])]
+        );
+
+        // Next level: all four 3-subsets qualified → {0,1,2,3} generated.
+        let mut p3: Vec<Pattern> = got.into_iter().cloned().collect();
+        let c4 = generate_candidates(&mut p3);
+        assert_eq!(c4.len(), 1);
+        assert_eq!(c4[0].pattern, pat(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn parent_indices_are_valid_and_union_checks_out() {
+        let mut p2 = vec![pat(&[0, 1]), pat(&[0, 2]), pat(&[1, 2]), pat(&[0, 3]), pat(&[1, 3])];
+        let sorted_expected = {
+            let mut s = p2.clone();
+            s.sort_unstable();
+            s
+        };
+        let cands = generate_candidates(&mut p2);
+        assert_eq!(p2, sorted_expected, "input is sorted in place");
+        for c in &cands {
+            assert_eq!(p2[c.left].union(&p2[c.right]), c.pattern);
+            assert!(c.left < c.right);
+        }
+    }
+}

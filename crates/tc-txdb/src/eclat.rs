@@ -1,0 +1,220 @@
+//! Depth-first frequent-itemset mining (Eclat) over one transaction DB.
+//!
+//! The TCS baseline (§4.2) pre-filters candidate themes with a frequency
+//! threshold `ε`: the candidate set is
+//! `P = {p | ∃ v_i ∈ V, f_i(p) > ε}`. Computing each vertex's frequent
+//! patterns is classic frequent-itemset mining; we use the tidset-based
+//! depth-first search (Eclat), which plugs directly into the vertical
+//! representation of [`TransactionDb`].
+
+use crate::database::TransactionDb;
+use crate::item::Item;
+use crate::pattern::Pattern;
+use tc_util::BitSet;
+
+/// All patterns `p` with `f(p) > min_freq` in `db`, up to `max_len` items.
+///
+/// `min_freq` is a **strict** lower bound, matching the paper's `f_i(p) > ε`.
+/// `max_len = usize::MAX` imposes no length cap. Patterns are returned in
+/// lexicographic order; the empty pattern is never reported.
+pub fn frequent_patterns(db: &TransactionDb, min_freq: f64, max_len: usize) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    for_each_frequent_pattern(db, min_freq, max_len, |p, _| out.push(p.clone()));
+    out
+}
+
+/// Visits every pattern with `f(p) > min_freq` (strict), with its support.
+///
+/// The visitor receives the pattern and its absolute support. Enumeration is
+/// depth-first in item order, so parents are always visited before
+/// extensions.
+pub fn for_each_frequent_pattern(
+    db: &TransactionDb,
+    min_freq: f64,
+    max_len: usize,
+    mut visit: impl FnMut(&Pattern, usize),
+) {
+    let h = db.num_transactions();
+    if h == 0 || max_len == 0 {
+        return;
+    }
+    // Strict threshold: support > min_freq * h  ⟺  support >= floor(min_freq*h) + 1
+    // computed in f64 to avoid rounding pitfalls near integral boundaries.
+    let min_support_exclusive = min_freq * h as f64;
+
+    let mut items: Vec<Item> = db.items().collect();
+    items.sort_unstable();
+
+    // Frequent single items seed the DFS.
+    let frequent_items: Vec<(Item, &BitSet)> = items
+        .into_iter()
+        .filter_map(|i| {
+            let ts = db.tidset(i)?;
+            (ts.count() as f64 > min_support_exclusive).then_some((i, ts))
+        })
+        .collect();
+
+    let mut prefix: Vec<Item> = Vec::new();
+    dfs(
+        &frequent_items,
+        0,
+        None,
+        &mut prefix,
+        min_support_exclusive,
+        max_len,
+        &mut visit,
+    );
+}
+
+/// Recursive Eclat step.
+///
+/// `acc` is the tidset of the current prefix (`None` at the root, meaning
+/// "all transactions"). For each candidate item at or after `start`, the
+/// extension tidset is `acc ∩ tidset(item)`.
+fn dfs(
+    items: &[(Item, &BitSet)],
+    start: usize,
+    acc: Option<&BitSet>,
+    prefix: &mut Vec<Item>,
+    min_support_exclusive: f64,
+    max_len: usize,
+    visit: &mut impl FnMut(&Pattern, usize),
+) {
+    for idx in start..items.len() {
+        let (item, tidset) = items[idx];
+        let extended: BitSet = match acc {
+            None => (*tidset).clone(),
+            Some(a) => a.intersection(tidset),
+        };
+        let support = extended.count();
+        if support as f64 <= min_support_exclusive {
+            continue;
+        }
+        prefix.push(item);
+        let pattern = Pattern::new(prefix.clone());
+        visit(&pattern, support);
+        if prefix.len() < max_len {
+            dfs(
+                items,
+                idx + 1,
+                Some(&extended),
+                prefix,
+                min_support_exclusive,
+                max_len,
+                visit,
+            );
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    fn pat(ids: &[u32]) -> Pattern {
+        Pattern::new(items(ids))
+    }
+
+    fn db() -> TransactionDb {
+        // 4 transactions; frequencies: {0}:1.0 {1}:0.75 {2}:0.5 {0,1}:0.75
+        // {0,2}:0.5 {1,2}:0.25 {0,1,2}:0.25
+        TransactionDb::from_transactions([
+            items(&[0, 1, 2]),
+            items(&[0, 1]),
+            items(&[0, 1]),
+            items(&[0, 2]),
+        ])
+    }
+
+    #[test]
+    fn mines_all_with_zero_threshold() {
+        let got = frequent_patterns(&db(), 0.0, usize::MAX);
+        let expect = vec![
+            pat(&[0]),
+            pat(&[0, 1]),
+            pat(&[0, 1, 2]),
+            pat(&[0, 2]),
+            pat(&[1]),
+            pat(&[1, 2]),
+            pat(&[2]),
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // f({2}) = 0.5 exactly: must be excluded at min_freq = 0.5.
+        let got = frequent_patterns(&db(), 0.5, usize::MAX);
+        assert_eq!(got, vec![pat(&[0]), pat(&[0, 1]), pat(&[1])]);
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let got = frequent_patterns(&db(), 0.0, 1);
+        assert_eq!(got, vec![pat(&[0]), pat(&[1]), pat(&[2])]);
+        let got2 = frequent_patterns(&db(), 0.0, 2);
+        assert!(got2.contains(&pat(&[0, 1])));
+        assert!(!got2.iter().any(|p| p.len() > 2));
+    }
+
+    #[test]
+    fn supports_reported_correctly() {
+        let mut seen = Vec::new();
+        for_each_frequent_pattern(&db(), 0.0, usize::MAX, |p, s| seen.push((p.clone(), s)));
+        let lookup: std::collections::HashMap<_, _> = seen.into_iter().collect();
+        assert_eq!(lookup[&pat(&[0])], 4);
+        assert_eq!(lookup[&pat(&[0, 1])], 3);
+        assert_eq!(lookup[&pat(&[0, 1, 2])], 1);
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        assert!(frequent_patterns(&TransactionDb::new(), 0.0, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn high_threshold_yields_nothing() {
+        assert!(frequent_patterns(&db(), 1.0, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn results_match_bruteforce_support() {
+        // Oracle: every reported pattern's support from db.support() must
+        // clear the threshold, and every itemset over seen items that
+        // clears it must be reported.
+        let d = db();
+        let min_freq = 0.3;
+        let got: std::collections::HashSet<Pattern> =
+            frequent_patterns(&d, min_freq, usize::MAX).into_iter().collect();
+        let all_items = [Item(0), Item(1), Item(2)];
+        for mask in 1u32..8 {
+            let p: Pattern = all_items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &it)| it)
+                .collect();
+            let frequent = d.frequency(&p) > min_freq;
+            assert_eq!(got.contains(&p), frequent, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn anti_monotone_closure() {
+        // Every sub-pattern of a reported pattern is also reported.
+        let got: std::collections::HashSet<Pattern> =
+            frequent_patterns(&db(), 0.2, usize::MAX).into_iter().collect();
+        for p in &got {
+            for sub in p.k_minus_one_subsets() {
+                if !sub.is_empty() {
+                    assert!(got.contains(&sub), "{sub} missing though {p} present");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Frequent Pattern Counting — the #P-complete problem behind Theorem 3.8.
+//!
+//! Appendix A.1 of the paper proves that counting theme communities is
+//! #P-hard by reduction **from** FPC: given a transaction database `d` and a
+//! threshold `α ∈ [0, 1]`, count the patterns `p` with `f(p) > α`. The
+//! reduction builds a 3-vertex triangle database network whose every vertex
+//! carries a copy of `d`; then the number of theme communities equals the
+//! FPC answer. Our integration tests execute that construction literally,
+//! with this module as the oracle side.
+
+use crate::database::TransactionDb;
+use crate::eclat::for_each_frequent_pattern;
+
+/// Counts patterns `p ≠ ∅` with `f(p) > min_freq` (strict), the FPC problem.
+///
+/// Exponential in the worst case, as it must be (#P-complete); intended for
+/// the small instances used in tests and demos.
+pub fn count_frequent_patterns(db: &TransactionDb, min_freq: f64) -> u64 {
+    let mut count = 0u64;
+    for_each_frequent_pattern(db, min_freq, usize::MAX, |_, _| count += 1);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn counts_all_nonempty_patterns_at_zero() {
+        // Single transaction {0,1,2}: 2^3 - 1 = 7 nonempty subsets, all with
+        // frequency 1.0 > 0.
+        let db = TransactionDb::from_transactions([items(&[0, 1, 2])]);
+        assert_eq!(count_frequent_patterns(&db, 0.0), 7);
+    }
+
+    #[test]
+    fn strictness_of_threshold() {
+        // {0}: f=1.0, {1}: f=0.5, {0,1}: f=0.5.
+        let db = TransactionDb::from_transactions([items(&[0, 1]), items(&[0])]);
+        assert_eq!(count_frequent_patterns(&db, 0.0), 3);
+        assert_eq!(count_frequent_patterns(&db, 0.5), 1); // only {0}
+        assert_eq!(count_frequent_patterns(&db, 1.0), 0);
+    }
+
+    #[test]
+    fn empty_db_counts_zero() {
+        assert_eq!(count_frequent_patterns(&TransactionDb::new(), 0.0), 0);
+    }
+
+    #[test]
+    fn matches_bruteforce_enumeration() {
+        let db = TransactionDb::from_transactions([
+            items(&[0, 1]),
+            items(&[1, 2]),
+            items(&[0, 2]),
+            items(&[0, 1, 2]),
+        ]);
+        for threshold in [0.0, 0.24, 0.25, 0.5, 0.74, 0.75] {
+            let mut brute = 0;
+            for mask in 1u32..8 {
+                let p: crate::Pattern = (0..3)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| Item(i as u32))
+                    .collect();
+                if db.frequency(&p) > threshold {
+                    brute += 1;
+                }
+            }
+            assert_eq!(
+                count_frequent_patterns(&db, threshold),
+                brute,
+                "threshold {threshold}"
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Items and the global item space.
+//!
+//! Items are interned: algorithms work with dense `u32` ids; human-readable
+//! names (keywords, locations, products) live in the [`ItemSpace`] and are
+//! only consulted for display.
+
+use tc_util::{FxHashMap, HeapSize};
+
+/// A dense item identifier.
+///
+/// The paper's `S = {s_1, …, s_m}`; item ids are `0..m`. The `Ord` instance
+/// doubles as the total order `≺` required by the set-enumeration tree
+/// (paper §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item(pub u32);
+
+impl Item {
+    /// The dense index of this item.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Item {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl HeapSize for Item {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// Bidirectional mapping between item names and dense [`Item`] ids.
+#[derive(Debug, Clone, Default)]
+pub struct ItemSpace {
+    names: Vec<String>,
+    by_name: FxHashMap<String, Item>,
+}
+
+impl ItemSpace {
+    /// An empty item space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An item space of `n` anonymous items named `item_0 … item_{n-1}`.
+    pub fn anonymous(n: usize) -> Self {
+        let mut s = Self::new();
+        for i in 0..n {
+            s.intern(&format!("item_{i}"));
+        }
+        s
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> Item {
+        if let Some(&item) = self.by_name.get(name) {
+            return item;
+        }
+        let item = Item(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), item);
+        item
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Item> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `item`, if in range.
+    pub fn name(&self, item: Item) -> Option<&str> {
+        self.names.get(item.index()).map(String::as_str)
+    }
+
+    /// Number of distinct items (`|S|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no item has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All items in id order.
+    pub fn items(&self) -> impl Iterator<Item = Item> + '_ {
+        (0..self.names.len() as u32).map(Item)
+    }
+
+    /// Renders a pattern as `{name, name, …}` using this space's names.
+    pub fn render(&self, pattern: &crate::Pattern) -> String {
+        let mut out = String::from("{");
+        for (i, item) in pattern.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match self.name(item) {
+                Some(n) => out.push_str(n),
+                None => out.push_str(&item.to_string()),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl HeapSize for ItemSpace {
+    fn heap_size(&self) -> usize {
+        self.names.heap_size() + self.by_name.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pattern;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut s = ItemSpace::new();
+        let a = s.intern("beer");
+        let b = s.intern("diapers");
+        assert_ne!(a, b);
+        assert_eq!(s.intern("beer"), a);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut s = ItemSpace::new();
+        let a = s.intern("beer");
+        assert_eq!(s.get("beer"), Some(a));
+        assert_eq!(s.get("wine"), None);
+        assert_eq!(s.name(a), Some("beer"));
+        assert_eq!(s.name(Item(99)), None);
+    }
+
+    #[test]
+    fn anonymous_space() {
+        let s = ItemSpace::anonymous(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(Item(1)), Some("item_1"));
+        assert_eq!(s.get("item_2"), Some(Item(2)));
+    }
+
+    #[test]
+    fn items_iterator_in_order() {
+        let s = ItemSpace::anonymous(4);
+        let ids: Vec<u32> = s.items().map(|i| i.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn render_pattern() {
+        let mut s = ItemSpace::new();
+        let a = s.intern("data mining");
+        let b = s.intern("sequential pattern");
+        let p = Pattern::new(vec![b, a]);
+        assert_eq!(s.render(&p), "{data mining, sequential pattern}");
+    }
+
+    #[test]
+    fn render_unknown_item_falls_back() {
+        let s = ItemSpace::new();
+        let p = Pattern::new(vec![Item(7)]);
+        assert_eq!(s.render(&p), "{i7}");
+    }
+
+    #[test]
+    fn item_ordering_is_id_order() {
+        assert!(Item(1) < Item(2));
+        let mut v = vec![Item(5), Item(1), Item(3)];
+        v.sort();
+        assert_eq!(v, vec![Item(1), Item(3), Item(5)]);
+    }
+}

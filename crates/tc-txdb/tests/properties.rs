@@ -1,0 +1,161 @@
+//! Property tests for the transaction-database substrate: pattern algebra
+//! against a `BTreeSet` model, vertical frequency against a horizontal
+//! scan, Eclat against brute-force enumeration, Apriori joins against the
+//! definitional pair scan.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tc_txdb::{frequent_patterns, generate_candidates, Item, Pattern, TransactionDb};
+
+fn arb_items(max_id: u32, len: usize) -> impl Strategy<Value = Vec<Item>> {
+    prop::collection::vec((0..max_id).prop_map(Item), 0..len)
+}
+
+fn arb_transactions() -> impl Strategy<Value = Vec<Vec<Item>>> {
+    prop::collection::vec(arb_items(6, 5), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------ pattern algebra
+
+    #[test]
+    fn pattern_union_matches_set_model(a in arb_items(10, 6), b in arb_items(10, 6)) {
+        let pa = Pattern::new(a.clone());
+        let pb = Pattern::new(b.clone());
+        let sa: BTreeSet<Item> = a.into_iter().collect();
+        let sb: BTreeSet<Item> = b.into_iter().collect();
+        let union: Vec<Item> = sa.union(&sb).copied().collect();
+        let joined = pa.union(&pb);
+        prop_assert_eq!(joined.items(), &union[..]);
+    }
+
+    #[test]
+    fn pattern_intersection_matches_set_model(a in arb_items(10, 6), b in arb_items(10, 6)) {
+        let pa = Pattern::new(a.clone());
+        let pb = Pattern::new(b.clone());
+        let sa: BTreeSet<Item> = a.into_iter().collect();
+        let sb: BTreeSet<Item> = b.into_iter().collect();
+        let inter: Vec<Item> = sa.intersection(&sb).copied().collect();
+        let met = pa.intersection(&pb);
+        prop_assert_eq!(met.items(), &inter[..]);
+    }
+
+    #[test]
+    fn pattern_subset_matches_set_model(a in arb_items(8, 5), b in arb_items(8, 5)) {
+        let pa = Pattern::new(a.clone());
+        let pb = Pattern::new(b.clone());
+        let sa: BTreeSet<Item> = a.into_iter().collect();
+        let sb: BTreeSet<Item> = b.into_iter().collect();
+        prop_assert_eq!(pa.is_subset_of(&pb), sa.is_subset(&sb));
+    }
+
+    #[test]
+    fn with_item_inserts(a in arb_items(10, 6), x in (0u32..10).prop_map(Item)) {
+        let p = Pattern::new(a.clone());
+        let q = p.with_item(x);
+        prop_assert!(q.contains(x));
+        prop_assert!(p.is_subset_of(&q));
+        prop_assert!(q.len() <= p.len() + 1);
+        // Sorted, duplicate-free.
+        prop_assert!(q.items().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn k_minus_one_subsets_are_subsets(a in arb_items(8, 6)) {
+        let p = Pattern::new(a);
+        for sub in p.k_minus_one_subsets() {
+            prop_assert_eq!(sub.len() + 1, p.len());
+            prop_assert!(sub.is_subset_of(&p));
+        }
+        prop_assert_eq!(p.k_minus_one_subsets().count(), p.len());
+    }
+
+    // ------------------------------------------------ frequency model
+
+    #[test]
+    fn support_matches_horizontal_scan(ts in arb_transactions(), q in arb_items(6, 4)) {
+        let db = TransactionDb::from_transactions(ts.iter().cloned());
+        let pattern = Pattern::new(q);
+        // Horizontal oracle: count transactions whose item set ⊇ pattern.
+        let brute = ts
+            .iter()
+            .filter(|t| {
+                let set: BTreeSet<Item> = t.iter().copied().collect();
+                pattern.iter().all(|i| set.contains(&i))
+            })
+            .count();
+        prop_assert_eq!(db.support(&pattern), brute);
+        let f = db.frequency(&pattern);
+        prop_assert!((f - brute as f64 / ts.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_anti_monotone(ts in arb_transactions(), q in arb_items(6, 4), extra in (0u32..6).prop_map(Item)) {
+        let db = TransactionDb::from_transactions(ts.iter().cloned());
+        let p = Pattern::new(q);
+        let sup = p.with_item(extra);
+        prop_assert!(db.frequency(&sup) <= db.frequency(&p) + 1e-12);
+    }
+
+    // ------------------------------------------------ Eclat vs brute force
+
+    #[test]
+    fn eclat_matches_bruteforce(ts in arb_transactions(), min_freq in 0.0f64..0.9) {
+        let db = TransactionDb::from_transactions(ts.iter().cloned());
+        let mined: BTreeSet<Pattern> =
+            frequent_patterns(&db, min_freq, usize::MAX).into_iter().collect();
+        // Brute force over all subsets of the 6-item universe.
+        for mask in 1u32..64 {
+            let p: Pattern = (0..6u32)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(Item)
+                .collect();
+            let frequent = db.frequency(&p) > min_freq;
+            prop_assert_eq!(
+                mined.contains(&p),
+                frequent,
+                "pattern {} freq {}", &p, db.frequency(&p)
+            );
+        }
+    }
+
+    // ------------------------------------------------ Apriori join oracle
+
+    #[test]
+    fn apriori_join_matches_pairwise_definition(seed in prop::collection::btree_set(0u32..6, 1..5)) {
+        // Qualified length-2 patterns: all pairs over `seed` items.
+        let items: Vec<Item> = seed.into_iter().map(Item).collect();
+        let mut qualified: Vec<Pattern> = Vec::new();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                qualified.push(Pattern::new(vec![items[i], items[j]]));
+            }
+        }
+        if qualified.len() < 2 {
+            return Ok(());
+        }
+        let mut input = qualified.clone();
+        let produced: BTreeSet<Pattern> = generate_candidates(&mut input)
+            .into_iter()
+            .map(|c| c.pattern)
+            .collect();
+
+        // Definition (Algorithm 2): unions of pairs with |p ∪ q| = 3 whose
+        // every 2-sub-pattern is qualified.
+        let qset: BTreeSet<Pattern> = qualified.iter().cloned().collect();
+        let mut expected = BTreeSet::new();
+        for a in &qualified {
+            for b in &qualified {
+                if a < b {
+                    let u = a.union(b);
+                    if u.len() == 3 && u.k_minus_one_subsets().all(|s| qset.contains(&s)) {
+                        expected.insert(u);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(produced, expected);
+    }
+}

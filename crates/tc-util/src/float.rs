@@ -1,0 +1,137 @@
+//! Floating-point helpers for cohesion arithmetic.
+//!
+//! Edge cohesions are sums of `min(f_i, f_j, f_k)` terms, updated
+//! incrementally as triangles disappear during truss peeling (Algorithm 1,
+//! lines 12-13). Because the same term is added once and subtracted at most
+//! once, cancellation is exact in IEEE-754 only when the intermediate sums do
+//! not reorder — which `f64` addition does not guarantee across different
+//! accumulation orders. We therefore compare cohesions against thresholds
+//! with a small absolute epsilon, [`COHESION_EPS`], chosen far below any
+//! meaningful frequency resolution (frequencies are ratios of transaction
+//! counts, so adjacent distinct values differ by at least `1 / h²` for
+//! realistic `h`).
+
+/// Absolute tolerance for cohesion comparisons.
+pub const COHESION_EPS: f64 = 1e-9;
+
+/// `a ≈ b` under [`COHESION_EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= COHESION_EPS
+}
+
+/// `a ≤ b` with tolerance: true when `a` is below or within eps of `b`.
+///
+/// This is the predicate MPTD uses for "unqualified edge" (`eco ≤ α`).
+#[inline]
+pub fn leq_eps(a: f64, b: f64) -> bool {
+    a <= b + COHESION_EPS
+}
+
+/// `a > b` with tolerance (the strict complement of [`leq_eps`]).
+#[inline]
+pub fn gt_eps(a: f64, b: f64) -> bool {
+    a > b + COHESION_EPS
+}
+
+/// A total-order wrapper over `f64` for use as map keys and in sorts.
+///
+/// Cohesions and frequencies are always finite and non-negative in this
+/// workspace; the wrapper panics on NaN at construction so ordering is total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite value.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "OrdF64 cannot hold NaN");
+        OrdF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for OrdF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64::new(v)
+    }
+}
+
+impl std::fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_eps() {
+        assert!(approx_eq(0.3, 0.1 + 0.2));
+        assert!(!approx_eq(0.3, 0.300001));
+    }
+
+    #[test]
+    fn leq_and_gt_are_complements() {
+        for (a, b) in [(0.1, 0.2), (0.2, 0.1), (0.15, 0.15), (0.0, 0.0)] {
+            assert_ne!(leq_eps(a, b), gt_eps(a, b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn leq_eps_tolerates_fp_noise() {
+        // 0.1 + 0.2 > 0.3 in f64, but must count as "≤ 0.3" for peeling.
+        assert!(leq_eps(0.1 + 0.2, 0.3));
+        assert!(!leq_eps(0.3001, 0.3));
+    }
+
+    #[test]
+    fn ordf64_sorts_totally() {
+        let mut v = [OrdF64::new(0.3), OrdF64::new(0.1), OrdF64::new(0.2)];
+        v.sort();
+        assert_eq!(v.iter().map(|x| x.get()).collect::<Vec<_>>(), vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ordf64_rejects_nan() {
+        OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn ordf64_usable_as_map_key() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(OrdF64::new(0.2), "b");
+        m.insert(OrdF64::new(0.1), "a");
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,170 @@
+//! An Fx-style non-cryptographic hasher.
+//!
+//! The mining algorithms hash millions of small integer keys (vertex ids,
+//! `(u32, u32)` edge keys, item ids). The standard library's SipHash 1-3 is
+//! collision-resistant but slow for such keys; the Firefox/rustc "Fx" hash is
+//! the usual drop-in replacement. We implement it here rather than pulling a
+//! dependency — it is ~30 lines of arithmetic.
+//!
+//! HashDoS resistance is irrelevant for this workload: all keys originate
+//! from our own data structures, never from untrusted input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx hash (64-bit variant).
+///
+/// This is `2^64 / φ` rounded to odd, the same constant rustc uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted integer-like keys.
+///
+/// Identical in spirit to `rustc_hash::FxHasher`: the state is folded with a
+/// rotate + xor + multiply per word of input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the remainder. This path is only
+        // exercised by string keys, which are rare in this workspace.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Convenience constructor: an empty [`FxHashMap`] with a capacity hint.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Convenience constructor: an empty [`FxHashSet`] with a capacity hint.
+pub fn fx_set_with_capacity<K>(cap: usize) -> FxHashSet<K> {
+    FxHashSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one((3u32, 4u32)), hash_one((3u32, 4u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test, just a smoke check that consecutive keys
+        // do not collide outright.
+        let hashes: Vec<u64> = (0u64..1000).map(hash_one).collect();
+        let unique: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+
+    #[test]
+    fn distinguishes_tuple_order() {
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn string_keys_work() {
+        assert_eq!(hash_one("abc"), hash_one("abc"));
+        assert_ne!(hash_one("abc"), hash_one("abd"));
+        // Exercise the >8-byte path and the remainder path.
+        assert_ne!(hash_one("abcdefghij"), hash_one("abcdefghik"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_usable() {
+        let mut m: FxHashMap<u32, &str> = fx_map_with_capacity(4);
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+
+        let mut s: FxHashSet<(u32, u32)> = fx_set_with_capacity(4);
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn zero_length_remainder_not_hashed_as_padding() {
+        // A trailing partial chunk must hash differently from explicit zero
+        // bytes (we mix in the remainder length).
+        let a = {
+            let mut h = FxHasher::default();
+            h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 0]);
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::default();
+            h.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,165 @@
+//! Heap footprint estimation.
+//!
+//! Table 3 of the paper reports the peak memory used while building a
+//! TC-Tree. We reproduce it two ways: a counting allocator in the benchmark
+//! harness (true peak), and this trait (logical footprint of the finished
+//! structure). The trait walks owned heap allocations; it reports capacity,
+//! not length, because capacity is what the allocator actually handed out.
+
+/// Types that can report the bytes they own on the heap.
+///
+/// `heap_size` excludes `size_of::<Self>()` itself; use [`HeapSize::total_size`]
+/// for stack + heap.
+pub trait HeapSize {
+    /// Bytes owned on the heap (deep).
+    fn heap_size(&self) -> usize;
+
+    /// Stack size plus owned heap bytes.
+    fn total_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() + self.heap_size()
+    }
+}
+
+macro_rules! impl_heapsize_primitive {
+    ($($t:ty),*) => {
+        $(impl HeapSize for $t {
+            #[inline]
+            fn heap_size(&self) -> usize { 0 }
+        })*
+    };
+}
+
+impl_heapsize_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        let elems: usize = self.iter().map(HeapSize::heap_size).sum();
+        self.capacity() * std::mem::size_of::<T>() + elems
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<[T]> {
+    fn heap_size(&self) -> usize {
+        let elems: usize = self.iter().map(HeapSize::heap_size).sum();
+        self.len() * std::mem::size_of::<T>() + elems
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_size(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_size)
+    }
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize> HeapSize for (A, B) {
+    fn heap_size(&self) -> usize {
+        self.0.heap_size() + self.1.heap_size()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize, C: HeapSize> HeapSize for (A, B, C) {
+    fn heap_size(&self) -> usize {
+        self.0.heap_size() + self.1.heap_size() + self.2.heap_size()
+    }
+}
+
+impl<K: HeapSize, V: HeapSize, S> HeapSize for std::collections::HashMap<K, V, S> {
+    fn heap_size(&self) -> usize {
+        // Approximation: hashbrown stores (K, V) pairs plus 1 control byte
+        // per bucket; capacity() is a lower bound on buckets.
+        let per_entry = std::mem::size_of::<(K, V)>() + 1;
+        let table = self.capacity() * per_entry;
+        let deep: usize = self
+            .iter()
+            .map(|(k, v)| k.heap_size() + v.heap_size())
+            .sum();
+        table + deep
+    }
+}
+
+impl<K: HeapSize, S> HeapSize for std::collections::HashSet<K, S> {
+    fn heap_size(&self) -> usize {
+        let per_entry = std::mem::size_of::<K>() + 1;
+        let table = self.capacity() * per_entry;
+        let deep: usize = self.iter().map(HeapSize::heap_size).sum();
+        table + deep
+    }
+}
+
+/// Formats a byte count as a human-readable string (`1.5 GB`, `312 MB`, …).
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_have_zero_heap() {
+        assert_eq!(1u32.heap_size(), 0);
+        assert_eq!(1.5f64.heap_size(), 0);
+        assert_eq!(true.heap_size(), 0);
+    }
+
+    #[test]
+    fn vec_counts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(v.heap_size(), 100 * 8);
+    }
+
+    #[test]
+    fn nested_vec_is_deep() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(10), Vec::with_capacity(20)];
+        let expected = v.capacity() * std::mem::size_of::<Vec<u8>>() + 30;
+        assert_eq!(v.heap_size(), expected);
+    }
+
+    #[test]
+    fn string_counts_capacity() {
+        let s = String::with_capacity(42);
+        assert_eq!(s.heap_size(), 42);
+    }
+
+    #[test]
+    fn total_size_includes_stack() {
+        let v: Vec<u8> = Vec::new();
+        assert_eq!(v.total_size(), std::mem::size_of::<Vec<u8>>());
+    }
+
+    #[test]
+    fn option_delegates() {
+        let some: Option<Vec<u64>> = Some(Vec::with_capacity(4));
+        assert_eq!(some.heap_size(), 32);
+        let none: Option<Vec<u64>> = None;
+        assert_eq!(none.heap_size(), 0);
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MB");
+    }
+}

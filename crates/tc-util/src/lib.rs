@@ -1,0 +1,30 @@
+//! Low-level substrates shared by every crate in the theme-communities
+//! workspace.
+//!
+//! This crate deliberately has **zero dependencies**. It provides:
+//!
+//! * [`hash`] — an Fx-style non-cryptographic hasher plus [`FxHashMap`] /
+//!   [`FxHashSet`] aliases. Hot maps in the miners are keyed by small
+//!   integers and integer pairs, where SipHash is measurably slower.
+//! * [`bitset`] — a fixed-capacity bitset with popcount-based intersection,
+//!   the backbone of the *vertical* transaction representation used to
+//!   compute pattern frequencies.
+//! * [`float`] — helpers for working with cohesion values: a total-ordered
+//!   wrapper and an epsilon used to keep peeling decisions stable under
+//!   floating-point noise.
+//! * [`heapsize`] — a trait reporting the heap footprint of a value, used to
+//!   reproduce the "Memory" column of Table 3.
+//! * [`timer`] — a tiny stopwatch and simple descriptive statistics used by
+//!   the benchmark harness.
+
+pub mod bitset;
+pub mod float;
+pub mod hash;
+pub mod heapsize;
+pub mod timer;
+
+pub use bitset::BitSet;
+pub use float::{approx_eq, OrdF64, COHESION_EPS};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use heapsize::HeapSize;
+pub use timer::{SeriesStats, Stopwatch};

@@ -1,0 +1,90 @@
+//! Property tests for the util substrates: the bitset against a `HashSet`
+//! model, and hashing sanity.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tc_util::{BitSet, FxHashMap, FxHashSet};
+
+const UNIVERSE: usize = 200;
+
+fn arb_ids() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..UNIVERSE, 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitset_matches_hashset_model(a in arb_ids(), b in arb_ids()) {
+        let sa: HashSet<usize> = a.iter().copied().collect();
+        let sb: HashSet<usize> = b.iter().copied().collect();
+        let ba = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let bb = BitSet::from_iter(UNIVERSE, b.iter().copied());
+
+        prop_assert_eq!(ba.count(), sa.len());
+        prop_assert_eq!(ba.intersection_count(&bb), sa.intersection(&sb).count());
+        prop_assert_eq!(ba.is_subset(&bb), sa.is_subset(&sb));
+        prop_assert_eq!(ba.is_disjoint(&bb), sa.is_disjoint(&sb));
+
+        let mut inter = ba.clone();
+        inter.intersect_with(&bb);
+        let model: std::collections::BTreeSet<usize> =
+            sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(inter.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+
+        let mut uni = ba.clone();
+        uni.union_with(&bb);
+        prop_assert_eq!(uni.count(), sa.union(&sb).count());
+
+        let mut diff = ba.clone();
+        diff.difference_with(&bb);
+        prop_assert_eq!(diff.count(), sa.difference(&sb).count());
+    }
+
+    #[test]
+    fn bitset_iter_sorted_and_complete(a in arb_ids()) {
+        let set: std::collections::BTreeSet<usize> = a.iter().copied().collect();
+        let bs = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let got: Vec<usize> = bs.iter().collect();
+        prop_assert_eq!(got, set.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitset_remove_inverse_of_insert(a in arb_ids(), victim in 0..UNIVERSE) {
+        let mut bs = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let had = bs.contains(victim);
+        prop_assert_eq!(bs.remove(victim), had);
+        prop_assert!(!bs.contains(victim));
+        bs.insert(victim);
+        prop_assert!(bs.contains(victim));
+    }
+
+    #[test]
+    fn fx_map_behaves_like_std(pairs in prop::collection::vec((0u64..100, 0u64..100), 0..60)) {
+        let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut std_map: std::collections::HashMap<u64, u64> = Default::default();
+        for &(k, v) in &pairs {
+            fx.insert(k, v);
+            std_map.insert(k, v);
+        }
+        prop_assert_eq!(fx.len(), std_map.len());
+        for (k, v) in &std_map {
+            prop_assert_eq!(fx.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn fx_set_behaves_like_std(ids in prop::collection::vec(0u64..100, 0..60)) {
+        let mut fx: FxHashSet<u64> = FxHashSet::default();
+        let mut std_set: std::collections::HashSet<u64> = Default::default();
+        for &x in &ids {
+            prop_assert_eq!(fx.insert(x), std_set.insert(x));
+        }
+        prop_assert_eq!(fx.len(), std_set.len());
+    }
+
+    #[test]
+    fn leq_gt_partition(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+        prop_assert_ne!(tc_util::float::leq_eps(a, b), tc_util::float::gt_eps(a, b));
+    }
+}

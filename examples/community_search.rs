@@ -1,0 +1,93 @@
+//! Community search: "which theme communities does *this user* belong to?"
+//!
+//! The k-truss literature the paper builds on (§2.1) answers membership
+//! queries for a given vertex; this example shows the theme-community lift,
+//! both directly on the network and through the TC-Tree index (which prunes
+//! whole subtrees by Theorem 5.1).
+//!
+//! ```sh
+//! cargo run --release --example community_search
+//! ```
+
+use theme_communities::core::{community_of_vertex, theme_profile};
+use theme_communities::data::{generate_checkin, CheckinConfig};
+use theme_communities::index::TcTreeBuilder;
+use theme_communities::util::Stopwatch;
+
+fn main() {
+    let out = generate_checkin(&CheckinConfig {
+        users: 120,
+        groups: 10,
+        group_size: 9,
+        locations: 100,
+        periods: 30,
+        seed: 4,
+        ..CheckinConfig::default()
+    });
+    let network = &out.network;
+
+    // Pick a user who belongs to at least two groups (an overlap vertex).
+    let overlap_user = (0..network.num_vertices() as u32)
+        .max_by_key(|&u| out.groups.iter().filter(|(m, _)| m.contains(&u)).count())
+        .expect("nonempty network");
+    let memberships = out
+        .groups
+        .iter()
+        .filter(|(m, _)| m.contains(&overlap_user))
+        .count();
+    println!("user {overlap_user} belongs to {memberships} friend groups\n");
+
+    // 1. Direct search: the user's single-location theme profile.
+    let alpha = 0.5;
+    let profile = theme_profile(network, overlap_user, alpha);
+    println!(
+        "theme profile at α = {alpha}: member of {} single-location communities",
+        profile.len()
+    );
+    for (pattern, community) in profile.iter().take(5) {
+        println!(
+            "  {} with {} friends",
+            network.item_space().render(pattern),
+            community.num_vertices() - 1
+        );
+    }
+
+    // 2. One specific theme, fetched directly.
+    if let Some((pattern, _)) = profile.first() {
+        let c = community_of_vertex(network, overlap_user, pattern, alpha)
+            .expect("profile entry implies membership");
+        println!(
+            "\ncommunity of user {overlap_user} for {}: {:?}",
+            network.item_space().render(pattern),
+            c.vertices
+        );
+    }
+
+    // 3. The same question through the index — all pattern lengths at once,
+    //    with Theorem 5.1 subtree pruning.
+    let tree = TcTreeBuilder::default().build(network);
+    let sw = Stopwatch::start();
+    let via_tree = tree.query_vertex(overlap_user, alpha);
+    println!(
+        "\nTC-Tree vertex query: {} communities across all themes in {:.3} ms",
+        via_tree.len(),
+        sw.elapsed_secs() * 1e3
+    );
+    let multi: Vec<_> = via_tree
+        .iter()
+        .filter(|(p, _)| p.len() >= 2)
+        .take(4)
+        .collect();
+    for (pattern, community) in multi {
+        println!(
+            "  {} — {} members",
+            network.item_space().render(pattern),
+            community.num_vertices()
+        );
+    }
+
+    // Sanity: the index agrees with the direct search on singletons.
+    let singles = via_tree.iter().filter(|(p, _)| p.len() == 1).count();
+    assert_eq!(singles, profile.len());
+    println!("\nindex and direct search agree on {singles} singleton themes ✓");
+}

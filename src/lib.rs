@@ -1,0 +1,50 @@
+//! # theme-communities
+//!
+//! A Rust implementation of *Finding Theme Communities from Database
+//! Networks: from Mining to Indexing and Query Answering* (Chu et al.,
+//! VLDB 2019).
+//!
+//! A **database network** is an undirected graph in which every vertex
+//! carries a transaction database. A **theme community** is a cohesively
+//! connected subgraph whose member vertices all exhibit a common frequent
+//! pattern (the *theme*). This facade crate re-exports the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`graph`] | undirected graph substrate: triangles, components, k-truss, k-core, BFS sampling |
+//! | [`txdb`]  | transaction databases, patterns, vertical (tidset) mining, Apriori joins |
+//! | [`core`]  | database networks, theme networks, edge cohesion, MPTD, TCS / TCFA / TCFI miners, truss decomposition |
+//! | [`index`] | the TC-Tree index and its query algorithms (QBA / QBP) |
+//! | [`data`]  | dataset generators (check-in, co-author, synthetic, planted) and I/O |
+//! | [`util`]  | hashing, bitsets, float ordering, heap accounting |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use theme_communities::core::{DatabaseNetworkBuilder, TcfiMiner, Miner};
+//!
+//! // Three mutual friends who all frequently buy {beer, diapers} together.
+//! let mut b = DatabaseNetworkBuilder::new();
+//! let beer = b.intern_item("beer");
+//! let diapers = b.intern_item("diapers");
+//! for v in 0..3u32 {
+//!     for _ in 0..10 {
+//!         b.add_transaction(v, &[beer, diapers]);
+//!     }
+//! }
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! let network = b.build().unwrap();
+//!
+//! let result = TcfiMiner::default().mine(&network, 0.5);
+//! let communities = result.communities();
+//! assert_eq!(communities.len(), 3); // {beer}, {diapers}, {beer, diapers}
+//! ```
+
+pub use tc_core as core;
+pub use tc_data as data;
+pub use tc_graph as graph;
+pub use tc_index as index;
+pub use tc_txdb as txdb;
+pub use tc_util as util;

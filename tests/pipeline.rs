@@ -1,0 +1,190 @@
+//! End-to-end pipeline tests: generate → mine → decompose → index → query
+//! → persist → reload, across all three generators.
+
+use theme_communities::core::{Miner, TcfaMiner, TcfiMiner, TcsMiner};
+use theme_communities::data::{
+    generate_checkin, generate_coauthor, generate_planted, generate_synthetic, CheckinConfig,
+    CoauthorConfig, PlantedConfig, SynConfig,
+};
+use theme_communities::index::{TcTree, TcTreeBuilder};
+
+fn small_checkin() -> theme_communities::core::DatabaseNetwork {
+    generate_checkin(&CheckinConfig {
+        users: 50,
+        groups: 5,
+        group_size: 7,
+        locations: 40,
+        locations_per_group: 3,
+        periods: 15,
+        ..CheckinConfig::default()
+    })
+    .network
+}
+
+#[test]
+fn three_miners_agree_on_checkin_data() {
+    let net = small_checkin();
+    for alpha in [0.0, 0.4, 1.0] {
+        let tcfi = TcfiMiner::default().mine(&net, alpha);
+        let tcfa = TcfaMiner::default().mine(&net, alpha);
+        let tcs_exact = TcsMiner::with_epsilon(0.0).mine(&net, alpha);
+        assert!(tcfi.same_trusses(&tcfa), "TCFI ≠ TCFA at α = {alpha}");
+        assert!(tcfi.same_trusses(&tcs_exact), "TCFI ≠ TCS(0) at α = {alpha}");
+    }
+}
+
+#[test]
+fn tcs_with_epsilon_is_subset_of_exact() {
+    let net = small_checkin();
+    let exact = TcfiMiner::default().mine(&net, 0.2);
+    for eps in [0.1, 0.2, 0.3] {
+        let lossy = TcsMiner::with_epsilon(eps).mine(&net, 0.2);
+        assert!(lossy.np() <= exact.np(), "ε = {eps}");
+        // Every truss TCS finds must match the exact one bit for bit.
+        for truss in &lossy.trusses {
+            let reference = exact
+                .truss_of(&truss.pattern)
+                .unwrap_or_else(|| panic!("TCS found extra pattern {}", truss.pattern));
+            assert_eq!(truss.edges, reference.edges);
+        }
+    }
+}
+
+#[test]
+fn tree_query_equals_mining_on_all_generators() {
+    let nets = [small_checkin(),
+        generate_coauthor(&CoauthorConfig {
+            groups: 4,
+            authors_per_group: 8,
+            interdisciplinary_authors: 2,
+            papers_per_author: 12,
+            ..CoauthorConfig::default()
+        })
+        .network,
+        generate_synthetic(&SynConfig {
+            vertices: 250,
+            edges_per_vertex: 3,
+            seeds: 6,
+            items: 60,
+            max_transactions: 16,
+            max_transaction_len: 8,
+            ..SynConfig::default()
+        })];
+    for (i, net) in nets.iter().enumerate() {
+        let tree = TcTreeBuilder::default().build(net);
+        for alpha in [0.0, 0.5, 1.5] {
+            let mined = TcfiMiner::default().mine(net, alpha);
+            let answered = tree.query_by_alpha(alpha);
+            assert_eq!(
+                answered.retrieved_nodes,
+                mined.np(),
+                "generator #{i}, α = {alpha}"
+            );
+            let mut got: Vec<_> = answered
+                .trusses
+                .iter()
+                .map(|t| (t.pattern.clone(), t.edges.clone()))
+                .collect();
+            got.sort();
+            let mut want: Vec<_> = mined
+                .trusses
+                .iter()
+                .map(|t| (t.pattern.clone(), t.edges.clone()))
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "generator #{i}, α = {alpha}");
+        }
+    }
+}
+
+#[test]
+fn network_and_tree_persistence_roundtrip() {
+    let net = small_checkin();
+    let dir = std::env::temp_dir().join("tc_pipeline_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Network roundtrip.
+    let net_path = dir.join("pipeline.dbnet");
+    theme_communities::data::save_network_to_path(&net, &net_path).unwrap();
+    let net2 = theme_communities::data::load_network_from_path(&net_path).unwrap();
+    assert_eq!(net.stats(), net2.stats());
+
+    // Tree roundtrip on the reloaded network.
+    let tree = TcTreeBuilder::default().build(&net2);
+    let tree_path = dir.join("pipeline.tct");
+    tree.save_to_path(&tree_path).unwrap();
+    let tree2 = TcTree::load_from_path(&tree_path).unwrap();
+    assert_eq!(tree.num_nodes(), tree2.num_nodes());
+    for alpha in [0.0, 0.5, 1.0] {
+        assert_eq!(
+            tree.query_by_alpha(alpha).retrieved_nodes,
+            tree2.query_by_alpha(alpha).retrieved_nodes
+        );
+    }
+    // Mining the original and querying the reloaded tree agree.
+    let mined = TcfiMiner::default().mine(&net, 0.5);
+    assert_eq!(tree2.query_by_alpha(0.5).retrieved_nodes, mined.np());
+
+    std::fs::remove_file(&net_path).ok();
+    std::fs::remove_file(&tree_path).ok();
+}
+
+#[test]
+fn planted_communities_recovered_end_to_end() {
+    let planted = generate_planted(&PlantedConfig {
+        communities: 3,
+        community_size: 7,
+        overlap: 2,
+        freq: 0.85,
+        ..PlantedConfig::default()
+    });
+    // Mine.
+    let result = TcfiMiner::default().mine(&planted.network, 1.0);
+    for truth in &planted.truth {
+        let truss = result
+            .truss_of(&truth.pattern)
+            .unwrap_or_else(|| panic!("planted {} missing", truth.pattern));
+        assert_eq!(truss.vertices, truth.vertices, "exact recovery expected");
+    }
+    // Index and query the same communities.
+    let tree = TcTreeBuilder::default().build(&planted.network);
+    for truth in &planted.truth {
+        let answer = tree.query(&truth.pattern, 1.0);
+        assert!(
+            answer
+                .trusses
+                .iter()
+                .any(|t| t.pattern == truth.pattern && t.vertices == truth.vertices),
+            "tree query missed planted community {}",
+            truth.pattern
+        );
+    }
+}
+
+#[test]
+fn sampled_subnetwork_mining_consistent() {
+    // Mining a BFS sample equals mining the sample-induced subnetwork
+    // (the Figure 4 methodology is self-consistent).
+    let net = small_checkin();
+    let edges = theme_communities::graph::bfs_edge_sample(net.graph(), 0, 60);
+    assert!(!edges.is_empty());
+    let sub = net.induced_subnetwork(&edges);
+    assert_eq!(sub.num_edges(), edges.len());
+    let r = TcfiMiner::default().mine(&sub, 0.3);
+    // Every truss's vertices exist in the subnetwork.
+    for t in &r.trusses {
+        for &v in &t.vertices {
+            assert!((v as usize) < sub.num_vertices());
+        }
+    }
+    // And the subnetwork preserves frequencies of its vertices.
+    let mapped_back = theme_communities::graph::ktruss::edge_set_vertices(&edges);
+    for (new_id, &old_id) in mapped_back.iter().enumerate() {
+        for item in sub.items_in_use().into_iter().take(5) {
+            let p = theme_communities::txdb::Pattern::singleton(item);
+            assert!(
+                (sub.frequency(new_id as u32, &p) - net.frequency(old_id, &p)).abs() < 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Cross-crate property-based tests: random database networks, checked
+//! against the paper's invariants and the brute-force oracles.
+
+use proptest::prelude::*;
+use theme_communities::core::{
+    maximal_pattern_truss, oracle, DatabaseNetwork, DatabaseNetworkBuilder, Miner, TcfaMiner,
+    TcfiMiner, TcsMiner, ThemeNetwork, TrussDecomposition,
+};
+use theme_communities::index::TcTreeBuilder;
+use theme_communities::txdb::{Item, Pattern};
+
+/// Strategy: a random small database network.
+///
+/// - up to `n` vertices and `n·2` candidate edges;
+/// - up to 4 items; each vertex gets 1-5 transactions of 1-3 items.
+fn arb_network(n: u32) -> impl Strategy<Value = DatabaseNetwork> {
+    let edges = prop::collection::vec((0..n, 0..n), 1..(n as usize * 2));
+    let dbs = prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0u32..4, 1..4), 1..6),
+        1..=(n as usize),
+    );
+    (edges, dbs).prop_map(move |(edges, dbs)| {
+        let mut b = DatabaseNetworkBuilder::new();
+        for i in 0..4 {
+            b.intern_item(&format!("it{i}"));
+        }
+        for (v, transactions) in dbs.into_iter().enumerate() {
+            for t in transactions {
+                let items: Vec<Item> = t.into_iter().map(Item).collect();
+                b.add_transaction(v as u32, &items);
+            }
+        }
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.ensure_vertex(n - 1);
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The three exact miners agree with each other and the brute-force
+    /// oracle, at several thresholds.
+    #[test]
+    fn miners_equal_oracle(net in arb_network(8), alpha in 0.0f64..1.5) {
+        let tcfi = TcfiMiner::default().mine(&net, alpha);
+        let tcfa = TcfaMiner::default().mine(&net, alpha);
+        let tcs = TcsMiner::with_epsilon(0.0).mine(&net, alpha);
+        prop_assert!(tcfi.same_trusses(&tcfa));
+        prop_assert!(tcfi.same_trusses(&tcs));
+
+        let truth = oracle::exhaustive_mine(&net, alpha, usize::MAX);
+        prop_assert_eq!(tcfi.np(), truth.len());
+        for (p, edges) in &truth {
+            let t = tcfi.truss_of(p);
+            prop_assert!(t.is_some(), "missing {}", p);
+            prop_assert_eq!(&t.unwrap().edges, edges);
+        }
+    }
+
+    /// MPTD output equals the definitional fixpoint for every single-item
+    /// theme network.
+    #[test]
+    fn mptd_equals_fixpoint(net in arb_network(8), alpha in 0.0f64..2.0) {
+        for item in net.items_in_use() {
+            let p = Pattern::singleton(item);
+            let theme = ThemeNetwork::induce(&net, &p);
+            let fast = maximal_pattern_truss(&theme, alpha);
+            let brute = oracle::brute_force_truss(&net, &p, alpha);
+            prop_assert_eq!(fast.edges, brute);
+        }
+    }
+
+    /// Theorem 5.1 on random data: sub-pattern trusses contain
+    /// super-pattern trusses.
+    #[test]
+    fn graph_anti_monotonicity(net in arb_network(8), alpha in 0.0f64..1.0) {
+        let items = net.items_in_use();
+        for &a in items.iter().take(3) {
+            for &b in items.iter().take(3) {
+                if a >= b { continue; }
+                let pa = Pattern::singleton(a);
+                let pab = Pattern::new(vec![a, b]);
+                let ca = maximal_pattern_truss(&ThemeNetwork::induce(&net, &pa), alpha);
+                let cab = maximal_pattern_truss(&ThemeNetwork::induce(&net, &pab), alpha);
+                prop_assert!(cab.is_subgraph_of(&ca));
+            }
+        }
+    }
+
+    /// Decomposition reconstruction (Equation 1) matches direct MPTD at
+    /// random thresholds, including level boundaries.
+    #[test]
+    fn decomposition_reconstructs(net in arb_network(8), probe in 0.0f64..2.0) {
+        for item in net.items_in_use().into_iter().take(3) {
+            let p = Pattern::singleton(item);
+            let theme = ThemeNetwork::induce(&net, &p);
+            let d = TrussDecomposition::decompose(&theme);
+            // Random probe plus every level boundary.
+            let mut alphas = vec![probe, 0.0];
+            alphas.extend(d.levels.iter().map(|l| l.alpha));
+            for alpha in alphas {
+                let direct = maximal_pattern_truss(&theme, alpha);
+                prop_assert_eq!(d.edges_at(alpha), direct.edges, "alpha={}", alpha);
+            }
+            // Levels strictly ascend and are disjoint.
+            for w in d.levels.windows(2) {
+                prop_assert!(w[0].alpha < w[1].alpha);
+            }
+            let total: usize = d.levels.iter().map(|l| l.edges.len()).sum();
+            let mut all: Vec<_> = d.levels.iter().flat_map(|l| l.edges.iter()).collect();
+            all.sort();
+            all.dedup();
+            prop_assert_eq!(all.len(), total, "levels overlap");
+        }
+    }
+
+    /// The TC-Tree indexes exactly the qualified patterns and answers QBA
+    /// queries identically to fresh mining.
+    #[test]
+    fn tree_equals_mining(net in arb_network(7), alpha in 0.0f64..1.0) {
+        let tree = TcTreeBuilder { threads: 1, max_len: usize::MAX }.build(&net);
+        let mined0 = TcfiMiner::default().mine(&net, 0.0);
+        prop_assert_eq!(tree.num_nodes(), mined0.np(), "tree nodes = qualified patterns at 0");
+
+        let mined = TcfiMiner::default().mine(&net, alpha);
+        let answered = tree.query_by_alpha(alpha);
+        prop_assert_eq!(answered.retrieved_nodes, mined.np());
+    }
+
+    /// TCS with positive ε returns a subset of the exact answer, and each
+    /// returned truss is bit-exact.
+    #[test]
+    fn tcs_prefilter_is_sound(net in arb_network(8), eps in 0.05f64..0.6, alpha in 0.0f64..0.8) {
+        let exact = TcfiMiner::default().mine(&net, alpha);
+        let lossy = TcsMiner::with_epsilon(eps).mine(&net, alpha);
+        prop_assert!(lossy.np() <= exact.np());
+        for t in &lossy.trusses {
+            let reference = exact.truss_of(&t.pattern);
+            prop_assert!(reference.is_some(), "TCS invented {}", t.pattern);
+            prop_assert_eq!(&reference.unwrap().edges, &t.edges);
+        }
+    }
+
+    /// Every reported truss satisfies the pattern-truss definition: all
+    /// edge cohesions strictly exceed α within the truss.
+    #[test]
+    fn trusses_satisfy_definition(net in arb_network(8), alpha in 0.0f64..1.0) {
+        let result = TcfiMiner::default().mine(&net, alpha);
+        for truss in &result.trusses {
+            let cohesions = oracle::cohesions_of_edge_set(&net, &truss.pattern, &truss.edges);
+            for (&e, &eco) in &cohesions {
+                prop_assert!(
+                    eco > alpha - 1e-9,
+                    "edge {:?} cohesion {} ≤ α {} in truss {}",
+                    e, eco, alpha, truss.pattern
+                );
+            }
+        }
+    }
+
+    /// Communities partition each truss: vertex and edge counts add up,
+    /// and every community is connected.
+    #[test]
+    fn communities_partition_trusses(net in arb_network(8)) {
+        let result = TcfiMiner::default().mine(&net, 0.0);
+        for truss in &result.trusses {
+            let communities = theme_communities::core::extract_communities(truss);
+            let nv: usize = communities.iter().map(|c| c.num_vertices()).sum();
+            let ne: usize = communities.iter().map(|c| c.num_edges()).sum();
+            prop_assert_eq!(nv, truss.num_vertices());
+            prop_assert_eq!(ne, truss.num_edges());
+            for c in &communities {
+                // Connectivity: union-find over the community's own edges.
+                let verts = &c.vertices;
+                let mut uf = theme_communities::graph::UnionFind::new(verts.len());
+                for &(u, v) in &c.edges {
+                    let iu = verts.binary_search(&u).unwrap() as u32;
+                    let iv = verts.binary_search(&v).unwrap() as u32;
+                    uf.union(iu, iv);
+                }
+                prop_assert_eq!(uf.num_sets(), 1, "community not connected");
+            }
+        }
+    }
+}
