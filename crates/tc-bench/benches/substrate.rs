@@ -20,9 +20,11 @@ fn bench_bitset(c: &mut Criterion) {
             universe,
             (0..universe / 4).map(|_| rng.gen_range(0..universe)),
         );
-        group.bench_with_input(BenchmarkId::from_parameter(universe), &universe, |bch, _| {
-            bch.iter(|| black_box(a.intersection_count(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(universe),
+            &universe,
+            |bch, _| bch.iter(|| black_box(a.intersection_count(&b))),
+        );
     }
     group.finish();
 }

@@ -39,7 +39,11 @@ fn main() {
     assert!(tcfa.same_trusses(&tcfi), "results must be identical");
 
     for r in [&tcfa, &tcfi] {
-        let name = if std::ptr::eq(r, &tcfa) { "TCFA" } else { "TCFI" };
+        let name = if std::ptr::eq(r, &tcfa) {
+            "TCFA"
+        } else {
+            "TCFI"
+        };
         let prune_rate = if r.stats.candidates_generated > 0 {
             100.0 * r.stats.pruned_by_intersection as f64 / r.stats.candidates_generated as f64
         } else {

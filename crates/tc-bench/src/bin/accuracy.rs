@@ -33,7 +33,10 @@ fn main() {
         ..PlantedConfig::default()
     });
 
-    for (label, planted, alpha) in [("strong themes (f=0.9)", &strong, 0.5), ("weak themes (f=0.25)", &weak, 0.1)] {
+    for (label, planted, alpha) in [
+        ("strong themes (f=0.9)", &strong, 0.5),
+        ("weak themes (f=0.25)", &weak, 0.1),
+    ] {
         let mut table = Table::new(
             format!("Planted-community recovery — {label}, alpha = {alpha}"),
             &["Miner", "Found", "Precision", "Recall", "F1"],
@@ -58,7 +61,11 @@ fn main() {
             }
             let n = planted.truth.len() as f64;
             let (p, r) = (p_sum / n, r_sum / n);
-            let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+            let f1 = if p + r > 0.0 {
+                2.0 * p * r / (p + r)
+            } else {
+                0.0
+            };
             table.push_row(vec![
                 name,
                 format!("{found}/{}", planted.truth.len()),

@@ -79,10 +79,7 @@ fn main() {
 
             let np = tcfi.np();
             let (nv_np, ne_np) = if np > 0 {
-                (
-                    tcfi.nv() as f64 / np as f64,
-                    tcfi.ne() as f64 / np as f64,
-                )
+                (tcfi.nv() as f64 / np as f64, tcfi.ne() as f64 / np as f64)
             } else {
                 (0.0, 0.0)
             };

@@ -70,7 +70,11 @@ fn qba(tree: &TcTree, name: &str, runs: usize) {
 fn qbp(tree: &TcTree, name: &str, runs: usize) {
     let mut table = Table::new(
         format!("Fig 5 QBP ({name})"),
-        &["Pattern Length", "Query Time (avg)", "Retrieved Nodes (avg)"],
+        &[
+            "Pattern Length",
+            "Query Time (avg)",
+            "Retrieved Nodes (avg)",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(0xF16);
     for len in 1..=tree.max_depth() {

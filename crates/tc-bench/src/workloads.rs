@@ -151,11 +151,12 @@ impl BenchArgs {
                 }
                 "--quick" => out.quick = true,
                 "--dataset" => {
-                    let v = it.next().unwrap_or_else(|| usage("--dataset needs a value"));
-                    out.only =
-                        Some(Dataset::parse(&v).unwrap_or_else(|| usage("unknown dataset")));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--dataset needs a value"));
+                    out.only = Some(Dataset::parse(&v).unwrap_or_else(|| usage("unknown dataset")));
                 }
-                "--help" | "-h" => usage("") ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }

@@ -156,7 +156,10 @@ pub fn stats(args: &[String]) -> i32 {
     println!("triangles:      {}", tc_graph::count_triangles(net.graph()));
     println!("max degree:     {}", net.graph().max_degree());
     println!("mean degree:    {:.2}", tc_graph::mean_degree(net.graph()));
-    println!("avg clustering: {:.4}", tc_graph::average_clustering(net.graph()));
+    println!(
+        "avg clustering: {:.4}",
+        tc_graph::average_clustering(net.graph())
+    );
     println!("transitivity:   {:.4}", tc_graph::transitivity(net.graph()));
     0
 }
@@ -367,7 +370,10 @@ mod tests {
     fn generate_requires_kind_and_out() {
         assert_eq!(generate(&strs(&["--out", "/tmp/x.dbnet"])), 2);
         assert_eq!(generate(&strs(&["--kind", "checkin"])), 2);
-        assert_eq!(generate(&strs(&["--kind", "nope", "--out", "/tmp/x.dbnet"])), 2);
+        assert_eq!(
+            generate(&strs(&["--kind", "nope", "--out", "/tmp/x.dbnet"])),
+            2
+        );
     }
 
     #[test]
@@ -392,18 +398,43 @@ mod tests {
             0
         );
         assert_eq!(
-            mine(&strs(&[&net_s, "--alpha", "0.1", "--miner", "tcs", "--epsilon", "0.2"])),
+            mine(&strs(&[
+                &net_s,
+                "--alpha",
+                "0.1",
+                "--miner",
+                "tcs",
+                "--epsilon",
+                "0.2"
+            ])),
             0
         );
-        assert_eq!(index(&strs(&[&net_s, "--out", &tree_s, "--threads", "2"])), 0);
+        assert_eq!(
+            index(&strs(&[&net_s, "--out", &tree_s, "--threads", "2"])),
+            0
+        );
         assert_eq!(query(&strs(&[&tree_s, "--alpha", "0.2"])), 0);
         assert_eq!(
-            query(&strs(&[&tree_s, "--alpha", "0.0", "--pattern", "0,1", "--network", &net_s])),
+            query(&strs(&[
+                &tree_s,
+                "--alpha",
+                "0.0",
+                "--pattern",
+                "0,1",
+                "--network",
+                &net_s
+            ])),
             0
         );
         // Named pattern resolution needs --network.
         assert_eq!(
-            query(&strs(&[&tree_s, "--pattern", "data mining", "--network", &net_s])),
+            query(&strs(&[
+                &tree_s,
+                "--pattern",
+                "data mining",
+                "--network",
+                &net_s
+            ])),
             0
         );
         assert_eq!(query(&strs(&[&tree_s, "--pattern", "data mining"])), 2);
@@ -421,7 +452,10 @@ mod tests {
     fn missing_files_fail_cleanly() {
         assert_eq!(stats(&strs(&["/nonexistent/net.dbnet"])), 2);
         assert_eq!(mine(&strs(&["/nonexistent/net.dbnet"])), 2);
-        assert_eq!(index(&strs(&["/nonexistent/net.dbnet", "--out", "/tmp/t.tct"])), 2);
+        assert_eq!(
+            index(&strs(&["/nonexistent/net.dbnet", "--out", "/tmp/t.tct"])),
+            2
+        );
         assert_eq!(query(&strs(&["/nonexistent/tree.tct"])), 2);
         assert_eq!(mine(&strs(&[])), 2);
     }
@@ -432,10 +466,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let net = dir.join("m.dbnet");
         let net_s = net.to_string_lossy().to_string();
-        assert_eq!(
-            generate(&strs(&["--kind", "planted", "--out", &net_s])),
-            0
-        );
+        assert_eq!(generate(&strs(&["--kind", "planted", "--out", &net_s])), 0);
         assert_eq!(mine(&strs(&[&net_s, "--miner", "bogus"])), 2);
         std::fs::remove_file(&net).ok();
     }

@@ -1,0 +1,131 @@
+//! End-to-end smoke test for the `tc` binary itself.
+//!
+//! The in-process tests in `commands.rs` cover the subcommand logic;
+//! this test covers the *binary path* — argument splitting, exit codes,
+//! stdout/stderr wiring — by spawning the compiled executable the way CI
+//! and users do: generate a tiny network, inspect it, mine it, index it,
+//! and query the index.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Runs the compiled `tc` binary with `args`, panicking on spawn failure.
+fn tc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the tc binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_success(out: &Output, context: &str) {
+    assert!(
+        out.status.success(),
+        "{context} failed (status {:?})\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        stdout(out),
+        stderr(out),
+    );
+}
+
+/// A scratch directory removed on drop, so failed runs don't leak files.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("tc_smoke_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn mine_index_query_pipeline() {
+    let scratch = Scratch::new("pipeline");
+    let net = scratch.path("tiny.dbnet");
+    let tree = scratch.path("tiny.tct");
+
+    // Generate: a tiny planted-community network (deterministic seed).
+    let out = tc(&[
+        "generate", "--kind", "planted", "--out", &net, "--seed", "7",
+    ]);
+    assert_success(&out, "tc generate");
+    assert!(
+        stdout(&out).contains("vertices"),
+        "generate should report stats: {}",
+        stdout(&out)
+    );
+    assert!(Path::new(&net).exists(), "generate must write the network");
+
+    // Stats: loads the file back and prints graph metrics.
+    let out = tc(&["stats", &net]);
+    assert_success(&out, "tc stats");
+    for field in ["vertices:", "edges:", "triangles:"] {
+        assert!(
+            stdout(&out).contains(field),
+            "stats output missing '{field}':\n{}",
+            stdout(&out)
+        );
+    }
+
+    // Mine: the planted generator guarantees at least one theme community.
+    let out = tc(&["mine", &net, "--alpha", "0.1", "--top", "5"]);
+    assert_success(&out, "tc mine");
+    assert!(
+        stdout(&out).contains("maximal pattern trusses"),
+        "mine output:\n{}",
+        stdout(&out)
+    );
+
+    // Index: build and persist the TC-Tree.
+    let out = tc(&["index", &net, "--out", &tree, "--threads", "2"]);
+    assert_success(&out, "tc index");
+    assert!(Path::new(&tree).exists(), "index must write the tree");
+
+    // Query by threshold, then by pattern with name resolution.
+    let out = tc(&["query", &tree, "--alpha", "0.2"]);
+    assert_success(&out, "tc query --alpha");
+    assert!(
+        stdout(&out).contains("retrieved"),
+        "query output:\n{}",
+        stdout(&out)
+    );
+
+    let out = tc(&["query", &tree, "--pattern", "0,1", "--network", &net]);
+    assert_success(&out, "tc query --pattern");
+}
+
+#[test]
+fn help_and_error_paths() {
+    // --help prints usage and succeeds.
+    let out = tc(&["--help"]);
+    assert_success(&out, "tc --help");
+    assert!(stderr(&out).contains("USAGE"), "help text goes to stderr");
+
+    // Unknown subcommands are a usage error (exit 2), not a crash.
+    let out = tc(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+
+    // Missing files fail cleanly with a diagnostic.
+    let out = tc(&["stats", "/nonexistent/net.dbnet"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("error"));
+}

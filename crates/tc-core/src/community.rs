@@ -122,7 +122,17 @@ mod tests {
         let t = PatternTruss::from_edges(
             pat(&[0]),
             0.1,
-            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (6, 7), (7, 8), (6, 8)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (6, 7),
+                (7, 8),
+                (6, 8),
+            ],
         );
         let cs = extract_communities(&t);
         assert_eq!(cs.len(), 2);
@@ -140,11 +150,8 @@ mod tests {
 
     #[test]
     fn edges_partitioned_exactly() {
-        let t = PatternTruss::from_edges(
-            pat(&[1]),
-            0.0,
-            vec![(0, 1), (1, 2), (5, 6), (6, 7), (5, 7)],
-        );
+        let t =
+            PatternTruss::from_edges(pat(&[1]), 0.0, vec![(0, 1), (1, 2), (5, 6), (6, 7), (5, 7)]);
         let cs = extract_communities(&t);
         let total_edges: usize = cs.iter().map(ThemeCommunity::num_edges).sum();
         let total_verts: usize = cs.iter().map(ThemeCommunity::num_vertices).sum();

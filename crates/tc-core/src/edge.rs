@@ -329,9 +329,7 @@ impl EdgePeelState {
         for (i, &(u, v)) in keys.iter().enumerate() {
             let mut eco = 0.0;
             merge_adj(&adj[&u], &adj[&v], |e_uw, e_vw| {
-                eco += freqs[i]
-                    .min(freqs[e_uw as usize])
-                    .min(freqs[e_vw as usize]);
+                eco += freqs[i].min(freqs[e_uw as usize]).min(freqs[e_vw as usize]);
             });
             cohesion[i] = eco;
         }
@@ -426,7 +424,9 @@ pub struct EdgeTcfiMiner {
 
 impl Default for EdgeTcfiMiner {
     fn default() -> Self {
-        EdgeTcfiMiner { max_len: usize::MAX }
+        EdgeTcfiMiner {
+            max_len: usize::MAX,
+        }
     }
 }
 
@@ -451,12 +451,9 @@ impl EdgeTcfiMiner {
 
         let mut k = 2usize;
         while !level.is_empty() && k <= self.max_len {
-            let mut prev_patterns: Vec<Pattern> =
-                level.iter().map(|t| t.pattern.clone()).collect();
-            let by_pattern: FxHashMap<Pattern, PatternTruss> = level
-                .drain(..)
-                .map(|t| (t.pattern.clone(), t))
-                .collect();
+            let mut prev_patterns: Vec<Pattern> = level.iter().map(|t| t.pattern.clone()).collect();
+            let by_pattern: FxHashMap<Pattern, PatternTruss> =
+                level.drain(..).map(|t| (t.pattern.clone(), t)).collect();
             let candidates = tc_txdb::apriori::generate_candidates(&mut prev_patterns);
             stats.candidates_generated += candidates.len();
 
@@ -470,11 +467,8 @@ impl EdgeTcfiMiner {
                     continue;
                 }
                 stats.mptd_calls += 1;
-                let truss = network.maximal_edge_pattern_truss(
-                    &cand.pattern,
-                    alpha,
-                    Some(&intersection),
-                );
+                let truss =
+                    network.maximal_edge_pattern_truss(&cand.pattern, alpha, Some(&intersection));
                 if !truss.is_empty() {
                     next.push(truss);
                 }
@@ -614,10 +608,8 @@ mod tests {
         }
         let net = b.build().unwrap();
         for alpha in [0.0, 0.4, 0.7] {
-            let cx =
-                net.maximal_edge_pattern_truss(&Pattern::singleton(x), alpha, None);
-            let cxy =
-                net.maximal_edge_pattern_truss(&Pattern::new(vec![x, y]), alpha, None);
+            let cx = net.maximal_edge_pattern_truss(&Pattern::singleton(x), alpha, None);
+            let cxy = net.maximal_edge_pattern_truss(&Pattern::new(vec![x, y]), alpha, None);
             assert!(cxy.is_subgraph_of(&cx), "Theorem 5.1 lift at α = {alpha}");
         }
     }

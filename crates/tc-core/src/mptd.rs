@@ -191,8 +191,15 @@ mod tests {
     fn unit_frequencies_degenerate_to_ktruss() {
         // Paper §3.2: f ≡ 1 and α = k - 3 makes C_p(α) a k-truss.
         let edges = [
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (3, 4), (4, 5), (3, 5), // dangling triangle
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4
+            (3, 4),
+            (4, 5),
+            (3, 5), // dangling triangle
         ];
         let (net, pat) = network_with_freqs(&[10; 6], &edges);
         let theme = ThemeNetwork::induce(&net, &pat);

@@ -344,7 +344,10 @@ mod tests {
         b.add_transaction(0, &[x]);
         b.add_transaction(1, &[x]);
         b.add_transaction(2, &[y, z]);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(2, 3);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(2, 3);
         b.build().unwrap()
     }
 

@@ -80,11 +80,7 @@ pub fn peel_edge_set(
 
 /// Brute-force maximal pattern truss: fixpoint peel of the full theme
 /// network `G_p` at `α` (Definition 3.4 computed literally).
-pub fn brute_force_truss(
-    network: &DatabaseNetwork,
-    pattern: &Pattern,
-    alpha: f64,
-) -> Vec<EdgeKey> {
+pub fn brute_force_truss(network: &DatabaseNetwork, pattern: &Pattern, alpha: f64) -> Vec<EdgeKey> {
     let theme = ThemeNetwork::induce(network, pattern);
     let edges: Vec<EdgeKey> = theme
         .graph()

@@ -151,9 +151,7 @@ impl<'a> PeelState<'a> {
                 let t = fuv.min(theme.frequency(w));
                 for other in [e_uw, e_vw] {
                     cohesion[other as usize] -= t;
-                    if float::leq_eps(cohesion[other as usize], alpha)
-                        && !queued[other as usize]
-                    {
+                    if float::leq_eps(cohesion[other as usize], alpha) && !queued[other as usize] {
                         queued[other as usize] = true;
                         newly_unqualified.push(other);
                     }
@@ -266,7 +264,11 @@ mod tests {
         for v in 0..4u32 {
             b.add_transaction(v, &[p]); // f = 1.0 everywhere
         }
-        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 2).add_edge(1, 3).add_edge(2, 3);
+        b.add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 2)
+            .add_edge(1, 3)
+            .add_edge(2, 3);
         let net = b.build().unwrap();
         let pat = Pattern::singleton(net.item_space().get("p").unwrap());
         let theme = ThemeNetwork::induce(&net, &pat);

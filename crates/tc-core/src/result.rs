@@ -134,7 +134,11 @@ mod tests {
             0.1,
             vec![
                 PatternTruss::from_edges(pat(&[1]), 0.1, vec![(0, 1), (1, 2), (0, 2)]),
-                PatternTruss::from_edges(pat(&[0]), 0.1, vec![(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7)]),
+                PatternTruss::from_edges(
+                    pat(&[0]),
+                    0.1,
+                    vec![(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7)],
+                ),
                 PatternTruss::empty(pat(&[2]), 0.1),
             ],
             MinerStats::default(),
@@ -179,7 +183,11 @@ mod tests {
         assert!(a.same_trusses(&b));
         let c = MiningResult::new(
             0.1,
-            vec![PatternTruss::from_edges(pat(&[0]), 0.1, vec![(0, 1), (1, 2), (0, 2)])],
+            vec![PatternTruss::from_edges(
+                pat(&[0]),
+                0.1,
+                vec![(0, 1), (1, 2), (0, 2)],
+            )],
             MinerStats::default(),
         );
         assert!(!a.same_trusses(&c));
@@ -200,8 +208,16 @@ mod tests {
     fn filter_communities_thresholds() {
         let r = sample();
         assert_eq!(r.filter_communities(0, 0).len(), 3);
-        assert_eq!(r.filter_communities(4, 0).len(), 0, "all components have 3 vertices");
+        assert_eq!(
+            r.filter_communities(4, 0).len(),
+            0,
+            "all components have 3 vertices"
+        );
         assert_eq!(r.filter_communities(3, 1).len(), 3);
-        assert_eq!(r.filter_communities(0, 2).len(), 0, "no 2-item themes in fixture");
+        assert_eq!(
+            r.filter_communities(0, 2).len(),
+            0,
+            "no 2-item themes in fixture"
+        );
     }
 }

@@ -26,7 +26,9 @@ pub struct TcfaMiner {
 
 impl Default for TcfaMiner {
     fn default() -> Self {
-        TcfaMiner { max_len: usize::MAX }
+        TcfaMiner {
+            max_len: usize::MAX,
+        }
     }
 }
 
@@ -69,8 +71,7 @@ impl Miner for TcfaMiner {
         // Levels k = 2, 3, … (lines 2-12).
         let mut k = 2usize;
         while !level.is_empty() && k <= self.max_len {
-            let mut prev_patterns: Vec<Pattern> =
-                level.iter().map(|t| t.pattern.clone()).collect();
+            let mut prev_patterns: Vec<Pattern> = level.iter().map(|t| t.pattern.clone()).collect();
             all.append(&mut level);
 
             let candidates = apriori::generate_candidates(&mut prev_patterns);

@@ -28,7 +28,9 @@ pub struct TcfiMiner {
 
 impl Default for TcfiMiner {
     fn default() -> Self {
-        TcfiMiner { max_len: usize::MAX }
+        TcfiMiner {
+            max_len: usize::MAX,
+        }
     }
 }
 
@@ -61,12 +63,9 @@ impl Miner for TcfiMiner {
         while !level.is_empty() && k <= self.max_len {
             // Index the level's trusses by pattern; candidate generation
             // returns parent *indices* into the sorted pattern list.
-            let mut prev_patterns: Vec<Pattern> =
-                level.iter().map(|t| t.pattern.clone()).collect();
-            let by_pattern: FxHashMap<Pattern, PatternTruss> = level
-                .drain(..)
-                .map(|t| (t.pattern.clone(), t))
-                .collect();
+            let mut prev_patterns: Vec<Pattern> = level.iter().map(|t| t.pattern.clone()).collect();
+            let by_pattern: FxHashMap<Pattern, PatternTruss> =
+                level.drain(..).map(|t| (t.pattern.clone(), t)).collect();
 
             let candidates = apriori::generate_candidates(&mut prev_patterns);
             stats.candidates_generated += candidates.len();
@@ -141,12 +140,9 @@ impl Miner for ParallelTcfiMiner {
 
         let mut k = 2usize;
         while !level.is_empty() && k <= self.max_len {
-            let mut prev_patterns: Vec<Pattern> =
-                level.iter().map(|t| t.pattern.clone()).collect();
-            let by_pattern: FxHashMap<Pattern, PatternTruss> = level
-                .drain(..)
-                .map(|t| (t.pattern.clone(), t))
-                .collect();
+            let mut prev_patterns: Vec<Pattern> = level.iter().map(|t| t.pattern.clone()).collect();
+            let by_pattern: FxHashMap<Pattern, PatternTruss> =
+                level.drain(..).map(|t| (t.pattern.clone(), t)).collect();
             let candidates = apriori::generate_candidates(&mut prev_patterns);
             stats.candidates_generated += candidates.len();
 

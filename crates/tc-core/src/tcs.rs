@@ -165,7 +165,9 @@ mod tests {
         assert!(cands.contains(&Pattern::singleton(tea)));
         assert!(!cands.contains(&Pattern::singleton(coffee)));
         // ε = 1.0 excludes everything.
-        assert!(TcsMiner::with_epsilon(1.0).candidate_patterns(&net).is_empty());
+        assert!(TcsMiner::with_epsilon(1.0)
+            .candidate_patterns(&net)
+            .is_empty());
     }
 
     #[test]

@@ -112,8 +112,12 @@ impl ThemeNetwork {
         debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "sorted vertices");
         let mut gb = GraphBuilder::with_capacity(global_edges.len());
         for &(u, v) in global_edges {
-            let lu = vertices.binary_search(&u).expect("edge endpoint in vertex set") as u32;
-            let lv = vertices.binary_search(&v).expect("edge endpoint in vertex set") as u32;
+            let lu = vertices
+                .binary_search(&u)
+                .expect("edge endpoint in vertex set") as u32;
+            let lv = vertices
+                .binary_search(&v)
+                .expect("edge endpoint in vertex set") as u32;
             gb.add_edge(lu, lv);
         }
         if let Some(last) = vertices.len().checked_sub(1) {

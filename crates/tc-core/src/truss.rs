@@ -118,7 +118,14 @@ mod tests {
 
     #[test]
     fn from_edges_derives_vertices() {
-        let t = PatternTruss::from_edges(pat(&[0]), 0.1, vec![(2, 1), (0, 1)].into_iter().map(|(a,b)| tc_graph::edge_key(a,b)).collect());
+        let t = PatternTruss::from_edges(
+            pat(&[0]),
+            0.1,
+            vec![(2, 1), (0, 1)]
+                .into_iter()
+                .map(|(a, b)| tc_graph::edge_key(a, b))
+                .collect(),
+        );
         assert_eq!(t.edges, vec![(0, 1), (1, 2)]);
         assert_eq!(t.vertices, vec![0, 1, 2]);
         assert_eq!(t.num_edges(), 2);

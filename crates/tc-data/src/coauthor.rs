@@ -10,8 +10,8 @@
 //! communities of Figure 6), and sparse cross-group collaborations.
 
 use crate::vocab;
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
 use tc_txdb::Item;
@@ -177,8 +177,7 @@ mod tests {
     fn shape_matches_config() {
         let cfg = CoauthorConfig::default();
         let out = generate_coauthor(&cfg);
-        let expected_authors =
-            cfg.groups * cfg.authors_per_group + cfg.interdisciplinary_authors;
+        let expected_authors = cfg.groups * cfg.authors_per_group + cfg.interdisciplinary_authors;
         assert_eq!(out.network.num_vertices(), expected_authors);
         assert_eq!(out.author_names.len(), expected_authors);
         assert_eq!(out.groups.len(), cfg.groups);
@@ -236,11 +235,7 @@ mod tests {
         let base = cfg.groups * cfg.authors_per_group;
         for i in 0..cfg.interdisciplinary_authors {
             let v = (base + i) as u32;
-            let member_count = out
-                .groups
-                .iter()
-                .filter(|(_, m)| m.contains(&v))
-                .count();
+            let member_count = out.groups.iter().filter(|(_, m)| m.contains(&v)).count();
             assert_eq!(member_count, 2, "author {v} should span two groups");
         }
     }

@@ -94,8 +94,10 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> UGra
     }
     let all: Vec<u32> = (0..n as u32).collect();
     let mut builder = GraphBuilder::with_capacity(edges.len());
-    let mut existing: std::collections::HashSet<(u32, u32)> =
-        edges.iter().map(|&(u, v)| tc_graph::edge_key(u, v)).collect();
+    let mut existing: std::collections::HashSet<(u32, u32)> = edges
+        .iter()
+        .map(|&(u, v)| tc_graph::edge_key(u, v))
+        .collect();
     for (u, v) in edges.clone() {
         if rng.gen_bool(beta.clamp(0.0, 1.0)) {
             // Rewire the far endpoint.
@@ -147,7 +149,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let g = preferential_attachment(500, 2, &mut rng);
         // Scale-free: the max degree should far exceed the mean (4).
-        assert!(g.max_degree() > 12, "max degree {} too uniform", g.max_degree());
+        assert!(
+            g.max_degree() > 12,
+            "max degree {} too uniform",
+            g.max_degree()
+        );
     }
 
     #[test]
@@ -156,7 +162,10 @@ mod tests {
         let g = erdos_renyi(100, 0.1, &mut rng);
         let expected = 0.1 * (100.0 * 99.0 / 2.0);
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.35, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.35,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]

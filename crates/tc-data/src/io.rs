@@ -201,7 +201,9 @@ pub fn load_network<R: BufRead>(r: R) -> Result<DatabaseNetwork, LoadError> {
                 .ok_or_else(|| corrupt("expected 't …' transaction line"))?;
             let mut items = Vec::new();
             for tok in rest.split_whitespace() {
-                let id: u32 = tok.parse().map_err(|_| corrupt("bad item id in transaction"))?;
+                let id: u32 = tok
+                    .parse()
+                    .map_err(|_| corrupt("bad item id in transaction"))?;
                 if id as usize >= m {
                     return Err(corrupt("transaction item out of range"));
                 }

@@ -115,9 +115,8 @@ pub fn generate_planted(cfg: &PlantedConfig) -> PlantedNetwork {
         // this makes TCS's strict ε-threshold behaviour reproducible in
         // the accuracy experiments (Bernoulli planting lets realized
         // frequencies stray across the threshold).
-        let planted_count =
-            ((cfg.freq * cfg.transactions_per_vertex as f64).ceil() as usize)
-                .clamp(1, cfg.transactions_per_vertex);
+        let planted_count = ((cfg.freq * cfg.transactions_per_vertex as f64).ceil() as usize)
+            .clamp(1, cfg.transactions_per_vertex);
         for &v in &members {
             for t_idx in 0..cfg.transactions_per_vertex {
                 let mut t: Vec<Item> = Vec::with_capacity(cfg.pattern_len + 2);
@@ -156,10 +155,7 @@ pub fn generate_planted(cfg: &PlantedConfig) -> PlantedNetwork {
         next_vertex += 1;
         for _ in 0..cfg.transactions_per_vertex {
             let n = rng.gen_range(1..=3);
-            let mut t: Vec<Item> = noise_pool
-                .choose_multiple(&mut rng, n)
-                .copied()
-                .collect();
+            let mut t: Vec<Item> = noise_pool.choose_multiple(&mut rng, n).copied().collect();
             t.sort_unstable();
             t.dedup();
             b.add_transaction(v, &t);
@@ -232,8 +228,7 @@ mod tests {
             let truss = result
                 .truss_of(&planted.pattern)
                 .unwrap_or_else(|| panic!("planted pattern {} not found", planted.pattern));
-            let (precision, recall) =
-                vertex_precision_recall(&truss.vertices, &planted.vertices);
+            let (precision, recall) = vertex_precision_recall(&truss.vertices, &planted.vertices);
             assert!(precision >= 0.99, "precision {precision}");
             assert!(recall >= 0.99, "recall {recall}");
         }

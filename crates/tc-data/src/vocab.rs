@@ -138,29 +138,54 @@ pub const LOCATION_KINDS: &[&str] = &[
 
 /// District qualifiers combined with [`LOCATION_KINDS`] to name locations.
 pub const DISTRICTS: &[&str] = &[
-    "north", "south", "east", "west", "old-town", "riverside", "uptown", "midtown", "harbor",
-    "hilltop", "lakeside", "central",
+    "north",
+    "south",
+    "east",
+    "west",
+    "old-town",
+    "riverside",
+    "uptown",
+    "midtown",
+    "harbor",
+    "hilltop",
+    "lakeside",
+    "central",
 ];
 
 /// Product names for the social e-commerce examples.
 pub const PRODUCTS: &[&str] = &[
-    "beer", "diapers", "espresso beans", "yoga mat", "protein powder", "running shoes",
-    "board game", "graphic novel", "mechanical keyboard", "webcam", "desk lamp",
-    "standing desk", "noise-cancelling headphones", "water bottle", "climbing chalk",
-    "trail mix", "camping stove", "sleeping bag", "guitar strings", "paint brushes",
+    "beer",
+    "diapers",
+    "espresso beans",
+    "yoga mat",
+    "protein powder",
+    "running shoes",
+    "board game",
+    "graphic novel",
+    "mechanical keyboard",
+    "webcam",
+    "desk lamp",
+    "standing desk",
+    "noise-cancelling headphones",
+    "water bottle",
+    "climbing chalk",
+    "trail mix",
+    "camping stove",
+    "sleeping bag",
+    "guitar strings",
+    "paint brushes",
 ];
 
 /// Given names for generated authors/users.
 pub const GIVEN_NAMES: &[&str] = &[
-    "Wei", "Jian", "Lin", "Mei", "Ana", "Ravi", "Sofia", "Omar", "Yuki", "Elena", "Tomas",
-    "Aisha", "Noah", "Priya", "Ivan", "Lucia", "Chen", "Maria", "Amir", "Dana",
+    "Wei", "Jian", "Lin", "Mei", "Ana", "Ravi", "Sofia", "Omar", "Yuki", "Elena", "Tomas", "Aisha",
+    "Noah", "Priya", "Ivan", "Lucia", "Chen", "Maria", "Amir", "Dana",
 ];
 
 /// Family names for generated authors/users.
 pub const FAMILY_NAMES: &[&str] = &[
-    "Chu", "Pei", "Wang", "Zhang", "Yang", "Garcia", "Kumar", "Tanaka", "Novak", "Rossi",
-    "Haddad", "Okafor", "Silva", "Ivanov", "Larsen", "Moreau", "Nguyen", "Schmidt", "Costa",
-    "Petrov",
+    "Chu", "Pei", "Wang", "Zhang", "Yang", "Garcia", "Kumar", "Tanaka", "Novak", "Rossi", "Haddad",
+    "Okafor", "Silva", "Ivanov", "Larsen", "Moreau", "Nguyen", "Schmidt", "Costa", "Petrov",
 ];
 
 /// A deterministic person name for index `i` (distinct for `i < 400`).
@@ -170,7 +195,10 @@ pub fn person_name(i: usize) -> String {
     if i < GIVEN_NAMES.len() * FAMILY_NAMES.len() {
         format!("{given} {family}")
     } else {
-        format!("{given} {family} {}", i / (GIVEN_NAMES.len() * FAMILY_NAMES.len()))
+        format!(
+            "{given} {family} {}",
+            i / (GIVEN_NAMES.len() * FAMILY_NAMES.len())
+        )
     }
 }
 
@@ -181,7 +209,10 @@ pub fn location_name(i: usize) -> String {
     if i < LOCATION_KINDS.len() * DISTRICTS.len() {
         format!("{district} {kind}")
     } else {
-        format!("{district} {kind} {}", i / (LOCATION_KINDS.len() * DISTRICTS.len()))
+        format!(
+            "{district} {kind} {}",
+            i / (LOCATION_KINDS.len() * DISTRICTS.len())
+        )
     }
 }
 

@@ -41,7 +41,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics on the self-loop `u == v`.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
-        assert_ne!(u, v, "self-loop ({u},{u}) rejected: database networks are simple graphs");
+        assert_ne!(
+            u, v,
+            "self-loop ({u},{u}) rejected: database networks are simple graphs"
+        );
         self.edges.push(crate::edge_key(u, v));
         self
     }
@@ -262,7 +265,10 @@ mod tests {
     fn triangle_plus_tail() -> UGraph {
         // 0-1-2 triangle, 2-3 tail, 4 isolated (via ensure_vertex).
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).add_edge(2, 3);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .add_edge(2, 3);
         b.ensure_vertex(4);
         b.build()
     }

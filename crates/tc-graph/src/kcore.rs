@@ -76,7 +76,16 @@ mod tests {
     use crate::graph::{GraphBuilder, UGraph};
 
     fn k4_with_tail() -> UGraph {
-        UGraph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+        UGraph::from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ])
     }
 
     #[test]

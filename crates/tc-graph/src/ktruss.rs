@@ -19,8 +19,7 @@ use tc_util::{FxHashMap, FxHashSet};
 
 /// Initial per-edge supports (triangle counts) of the whole graph.
 fn initial_supports(g: &UGraph) -> FxHashMap<EdgeKey, usize> {
-    let mut support: FxHashMap<EdgeKey, usize> =
-        tc_util::hash::fx_map_with_capacity(g.num_edges());
+    let mut support: FxHashMap<EdgeKey, usize> = tc_util::hash::fx_map_with_capacity(g.num_edges());
     for (u, v) in g.edges() {
         let mut s = 0;
         merge_common(g.neighbors(u), g.neighbors(v), |_| s += 1);

@@ -126,8 +126,7 @@ fn decompose_items_parallel(
     items: &[Item],
     threads: usize,
 ) -> Vec<(Item, TrussDecomposition)> {
-    let decompose_one =
-        |item: Item| network.decompose_edge_truss(&Pattern::singleton(item), None);
+    let decompose_one = |item: Item| network.decompose_edge_truss(&Pattern::singleton(item), None);
     if threads <= 1 || items.len() < 2 {
         return items.iter().map(|&i| (i, decompose_one(i))).collect();
     }
@@ -249,8 +248,16 @@ mod tests {
     #[test]
     fn single_vs_multi_thread_builds_agree() {
         let net = network();
-        let t1 = EdgeTcTreeBuilder { threads: 1, max_len: usize::MAX }.build(&net);
-        let t4 = EdgeTcTreeBuilder { threads: 4, max_len: usize::MAX }.build(&net);
+        let t1 = EdgeTcTreeBuilder {
+            threads: 1,
+            max_len: usize::MAX,
+        }
+        .build(&net);
+        let t4 = EdgeTcTreeBuilder {
+            threads: 4,
+            max_len: usize::MAX,
+        }
+        .build(&net);
         assert_eq!(t1.num_nodes(), t4.num_nodes());
         let p1: Vec<_> = t1.nodes().iter().map(|n| n.pattern.clone()).collect();
         let p4: Vec<_> = t4.nodes().iter().map(|n| n.pattern.clone()).collect();

@@ -267,8 +267,7 @@ mod tests {
                 // Compare against the non-indexed search for every pattern
                 // the tree knows about.
                 for (pattern, community) in &via_tree {
-                    let direct =
-                        tc_core::community_of_vertex(&net, v, pattern, alpha).unwrap();
+                    let direct = tc_core::community_of_vertex(&net, v, pattern, alpha).unwrap();
                     assert_eq!(&direct, community, "v={v}, α={alpha}, {pattern}");
                 }
                 // And completeness: every indexed pattern whose community
@@ -278,7 +277,9 @@ mod tests {
                         tc_core::community_of_vertex(&net, v, &node.pattern, alpha)
                     {
                         assert!(
-                            via_tree.iter().any(|(p, c)| p == &node.pattern && c == &direct),
+                            via_tree
+                                .iter()
+                                .any(|(p, c)| p == &node.pattern && c == &direct),
                             "missing ({}, v={v})",
                             node.pattern
                         );

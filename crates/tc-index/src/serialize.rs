@@ -114,7 +114,9 @@ impl TcTree {
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| corrupt("bad node id"))?;
             if id != expect_id {
-                return Err(corrupt(format!("node ids must be dense: got {id}, want {expect_id}")));
+                return Err(corrupt(format!(
+                    "node ids must be dense: got {id}, want {expect_id}"
+                )));
             }
             let parent: u32 = parts
                 .next()

@@ -160,7 +160,12 @@ mod tests {
         let got: Vec<&Pattern> = c3.iter().map(|c| &c.pattern).collect();
         assert_eq!(
             got,
-            vec![&pat(&[0, 1, 2]), &pat(&[0, 1, 3]), &pat(&[0, 2, 3]), &pat(&[1, 2, 3])]
+            vec![
+                &pat(&[0, 1, 2]),
+                &pat(&[0, 1, 3]),
+                &pat(&[0, 2, 3]),
+                &pat(&[1, 2, 3])
+            ]
         );
 
         // Next level: all four 3-subsets qualified → {0,1,2,3} generated.
@@ -172,7 +177,13 @@ mod tests {
 
     #[test]
     fn parent_indices_are_valid_and_union_checks_out() {
-        let mut p2 = vec![pat(&[0, 1]), pat(&[0, 2]), pat(&[1, 2]), pat(&[0, 3]), pat(&[1, 3])];
+        let mut p2 = vec![
+            pat(&[0, 1]),
+            pat(&[0, 2]),
+            pat(&[1, 2]),
+            pat(&[0, 3]),
+            pat(&[1, 3]),
+        ];
         let sorted_expected = {
             let mut s = p2.clone();
             s.sort_unstable();

@@ -189,8 +189,9 @@ mod tests {
         // clears it must be reported.
         let d = db();
         let min_freq = 0.3;
-        let got: std::collections::HashSet<Pattern> =
-            frequent_patterns(&d, min_freq, usize::MAX).into_iter().collect();
+        let got: std::collections::HashSet<Pattern> = frequent_patterns(&d, min_freq, usize::MAX)
+            .into_iter()
+            .collect();
         let all_items = [Item(0), Item(1), Item(2)];
         for mask in 1u32..8 {
             let p: Pattern = all_items
@@ -207,8 +208,9 @@ mod tests {
     #[test]
     fn anti_monotone_closure() {
         // Every sub-pattern of a reported pattern is also reported.
-        let got: std::collections::HashSet<Pattern> =
-            frequent_patterns(&db(), 0.2, usize::MAX).into_iter().collect();
+        let got: std::collections::HashSet<Pattern> = frequent_patterns(&db(), 0.2, usize::MAX)
+            .into_iter()
+            .collect();
         for p in &got {
             for sub in p.k_minus_one_subsets() {
                 if !sub.is_empty() {

@@ -17,7 +17,9 @@ pub struct Pattern {
 impl Pattern {
     /// The empty pattern `∅` (the theme of the whole database network).
     pub fn empty() -> Self {
-        Pattern { items: Box::new([]) }
+        Pattern {
+            items: Box::new([]),
+        }
     }
 
     /// Builds a pattern from arbitrary items, sorting and deduplicating.

@@ -186,10 +186,7 @@ impl BitSet {
 
     /// `true` if the two sets share no member.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Iterates over member ids in ascending order.

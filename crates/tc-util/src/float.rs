@@ -118,7 +118,10 @@ mod tests {
     fn ordf64_sorts_totally() {
         let mut v = [OrdF64::new(0.3), OrdF64::new(0.1), OrdF64::new(0.2)];
         v.sort();
-        assert_eq!(v.iter().map(|x| x.get()).collect::<Vec<_>>(), vec![0.1, 0.2, 0.3]);
+        assert_eq!(
+            v.iter().map(|x| x.get()).collect::<Vec<_>>(),
+            vec![0.1, 0.2, 0.3]
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl SeriesStats {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Population standard deviation; `0.0` when fewer than two values.
@@ -97,7 +100,8 @@ impl SeriesStats {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 

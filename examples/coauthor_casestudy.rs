@@ -61,9 +61,11 @@ fn main() {
         .iter()
         .filter(|t| t.pattern.len() == 3)
         .filter_map(|t| {
-            t.pattern
-                .k_minus_one_subsets()
-                .find_map(|sub| result.truss_of(&sub).map(|parent| (t.clone(), parent.clone())))
+            t.pattern.k_minus_one_subsets().find_map(|sub| {
+                result
+                    .truss_of(&sub)
+                    .map(|parent| (t.clone(), parent.clone()))
+            })
         })
         .collect();
     pairs.sort_by_key(|(t, p)| std::cmp::Reverse(p.num_vertices() - t.num_vertices()));

@@ -20,7 +20,14 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(88);
     let mut b = EdgeDatabaseNetworkBuilder::new();
     let topics: Vec<_> = [
-        "rust", "databases", "gaming", "cooking", "hiking", "music", "startups", "gardening",
+        "rust",
+        "databases",
+        "gaming",
+        "cooking",
+        "hiking",
+        "music",
+        "startups",
+        "gardening",
     ]
     .iter()
     .map(|t| b.intern_item(t))
@@ -29,9 +36,9 @@ fn main() {
     // Three friend circles; conversations inside a circle revolve around
     // the circle's topic pair.
     let circles: &[(std::ops::Range<u32>, [usize; 2])] = &[
-        (0..5, [0, 1]),   // rust + databases
-        (4..9, [2, 5]),   // gaming + music (overlaps at user 4)
-        (9..13, [3, 7]),  // cooking + gardening
+        (0..5, [0, 1]),  // rust + databases
+        (4..9, [2, 5]),  // gaming + music (overlaps at user 4)
+        (9..13, [3, 7]), // cooking + gardening
     ];
     for (members, topic_pair) in circles {
         let members: Vec<u32> = members.clone().collect();

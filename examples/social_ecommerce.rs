@@ -95,9 +95,8 @@ fn main() {
     // Verify each planted tribe surfaced as a theme community.
     println!();
     for ((basket, label), members) in tribes.iter().zip(&tribe_members) {
-        let pattern = theme_communities::txdb::Pattern::new(
-            basket.iter().map(|&i| products[i]).collect(),
-        );
+        let pattern =
+            theme_communities::txdb::Pattern::new(basket.iter().map(|&i| products[i]).collect());
         match result.truss_of(&pattern) {
             Some(truss) => {
                 let recovered = truss

@@ -51,7 +51,10 @@ fn oracle_truss(net: &EdgeDatabaseNetwork, pattern: &Pattern, alpha: f64) -> Vec
 /// items; each candidate edge gets 1-4 transactions of 1-2 items.
 fn arb_edge_network() -> impl Strategy<Value = EdgeDatabaseNetwork> {
     prop::collection::vec(
-        ((0u32..6, 0u32..6), prop::collection::vec(prop::collection::vec(0u32..3, 1..3), 1..5)),
+        (
+            (0u32..6, 0u32..6),
+            prop::collection::vec(prop::collection::vec(0u32..3, 1..3), 1..5),
+        ),
         1..14,
     )
     .prop_map(|edges| {

@@ -7,8 +7,8 @@
 //! shrinkage) and Equation 1 (reconstruction).
 
 use theme_communities::core::{
-    maximal_pattern_truss, DatabaseNetwork, DatabaseNetworkBuilder, Miner, TcfiMiner,
-    ThemeNetwork, TrussDecomposition,
+    maximal_pattern_truss, DatabaseNetwork, DatabaseNetworkBuilder, Miner, TcfiMiner, ThemeNetwork,
+    TrussDecomposition,
 };
 use theme_communities::txdb::{count_frequent_patterns, Item, Pattern, TransactionDb};
 
@@ -39,9 +39,21 @@ fn fixture() -> DatabaseNetwork {
         }
     }
     for (u, v) in [
-        (0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 3), // K4-ish on A
-        (3, 4), (4, 5), (3, 5), (5, 6), (4, 6), (3, 6), // cluster B
-        (7, 8), (8, 9), (7, 9), // triangle C
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (1, 3),
+        (0, 3), // K4-ish on A
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (5, 6),
+        (4, 6),
+        (3, 6), // cluster B
+        (7, 8),
+        (8, 9),
+        (7, 9), // triangle C
         (6, 7), // bridge
     ] {
         b.add_edge(u, v);
@@ -176,16 +188,20 @@ fn proposition_5_3_graph_intersection() {
     for alpha in [0.0, 0.3, 0.75] {
         let cx = maximal_pattern_truss(&ThemeNetwork::induce(&net, &Pattern::singleton(x)), alpha);
         let cy = maximal_pattern_truss(&ThemeNetwork::induce(&net, &Pattern::singleton(y)), alpha);
-        let cxy =
-            maximal_pattern_truss(&ThemeNetwork::induce(&net, &Pattern::new(vec![x, y])), alpha);
+        let cxy = maximal_pattern_truss(
+            &ThemeNetwork::induce(&net, &Pattern::new(vec![x, y])),
+            alpha,
+        );
         let inter = cx.intersect_edges(&cy);
         for e in &cxy.edges {
             assert!(inter.contains(e), "edge {e:?} of C*_xy outside Cx ∩ Cy");
         }
         // Also the three-way case via {x,z}.
         let cz = maximal_pattern_truss(&ThemeNetwork::induce(&net, &Pattern::singleton(z)), alpha);
-        let cxz =
-            maximal_pattern_truss(&ThemeNetwork::induce(&net, &Pattern::new(vec![x, z])), alpha);
+        let cxz = maximal_pattern_truss(
+            &ThemeNetwork::induce(&net, &Pattern::new(vec![x, z])),
+            alpha,
+        );
         let inter_xz = cx.intersect_edges(&cz);
         for e in &cxz.edges {
             assert!(inter_xz.contains(e));

@@ -29,7 +29,10 @@ fn three_miners_agree_on_checkin_data() {
         let tcfa = TcfaMiner::default().mine(&net, alpha);
         let tcs_exact = TcsMiner::with_epsilon(0.0).mine(&net, alpha);
         assert!(tcfi.same_trusses(&tcfa), "TCFI ≠ TCFA at α = {alpha}");
-        assert!(tcfi.same_trusses(&tcs_exact), "TCFI ≠ TCS(0) at α = {alpha}");
+        assert!(
+            tcfi.same_trusses(&tcs_exact),
+            "TCFI ≠ TCS(0) at α = {alpha}"
+        );
     }
 }
 
@@ -52,7 +55,8 @@ fn tcs_with_epsilon_is_subset_of_exact() {
 
 #[test]
 fn tree_query_equals_mining_on_all_generators() {
-    let nets = [small_checkin(),
+    let nets = [
+        small_checkin(),
         generate_coauthor(&CoauthorConfig {
             groups: 4,
             authors_per_group: 8,
@@ -69,7 +73,8 @@ fn tree_query_equals_mining_on_all_generators() {
             max_transactions: 16,
             max_transaction_len: 8,
             ..SynConfig::default()
-        })];
+        }),
+    ];
     for (i, net) in nets.iter().enumerate() {
         let tree = TcTreeBuilder::default().build(net);
         for alpha in [0.0, 0.5, 1.5] {
@@ -182,9 +187,7 @@ fn sampled_subnetwork_mining_consistent() {
     for (new_id, &old_id) in mapped_back.iter().enumerate() {
         for item in sub.items_in_use().into_iter().take(5) {
             let p = theme_communities::txdb::Pattern::singleton(item);
-            assert!(
-                (sub.frequency(new_id as u32, &p) - net.frequency(old_id, &p)).abs() < 1e-12
-            );
+            assert!((sub.frequency(new_id as u32, &p) - net.frequency(old_id, &p)).abs() < 1e-12);
         }
     }
 }

@@ -1,0 +1,315 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! This build environment has no access to the crates registry, so the
+//! workspace vendors a minimal API-compatible stand-in covering the
+//! surface the benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (use them with `harness = false` bench targets, exactly like
+//! the real crate).
+//!
+//! Measurement model: each benchmark is calibrated so one sample lasts
+//! roughly [`TARGET_SAMPLE`], then `sample_size` samples are timed and
+//! mean / median / standard deviation of the per-iteration time are
+//! printed. There are no HTML reports, baselines, or regression tests.
+//! Swap the `[workspace.dependencies]` entry for the real crate once the
+//! registry is reachable; no bench changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock duration one calibrated sample should take.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Default number of samples per benchmark (the real crate uses 100;
+/// this shim favours latency since it offers no statistical machinery
+/// that would need the extra samples).
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as the benchmark `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs `f` with `input` as the benchmark `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label()),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group. (The real crate finalises reports here; the shim
+    /// prints per-benchmark, so this is a no-op kept for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id rendered as just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run per sample (set by calibration).
+    iters_per_sample: u64,
+    /// Collected per-sample durations.
+    samples: Vec<Duration>,
+    /// Number of samples to record.
+    sample_count: usize,
+    /// True during the calibration pass.
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times for stable measurement.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.calibrating {
+            // Double the iteration count until one batch crosses 1/10 of
+            // the target, then scale up to the target.
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= TARGET_SAMPLE / 10 {
+                    let per_iter = elapsed.as_secs_f64() / iters as f64;
+                    let target = TARGET_SAMPLE.as_secs_f64();
+                    self.iters_per_sample = ((target / per_iter).ceil() as u64).max(1);
+                    return;
+                }
+                match iters.checked_mul(2) {
+                    Some(next) => iters = next,
+                    None => {
+                        self.iters_per_sample = iters;
+                        return;
+                    }
+                }
+            }
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Calibrates, samples, and prints one benchmark's statistics.
+fn run_benchmark<F>(id: &str, sample_count: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_count,
+        calibrating: true,
+    };
+    f(&mut bencher); // calibration pass
+    bencher.calibrating = false;
+    f(&mut bencher); // measurement pass
+
+    if bencher.samples.is_empty() {
+        println!("{id:<40} (no samples: bencher.iter was never called)");
+        return;
+    }
+
+    let iters = bencher.iters_per_sample as f64;
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let n = per_iter.len();
+    let mean = per_iter.iter().sum::<f64>() / n as f64;
+    let median = if n % 2 == 1 {
+        per_iter[n / 2]
+    } else {
+        (per_iter[n / 2 - 1] + per_iter[n / 2]) / 2.0
+    };
+    let var = per_iter.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n as f64;
+    println!(
+        "{:<40} time: [median {} mean {} ± {}]  ({} samples × {} iters)",
+        id,
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(var.sqrt()),
+        n,
+        bencher.iters_per_sample,
+    );
+}
+
+/// Renders seconds with an adaptive unit, criterion-style.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark runner that invokes each listed function with a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_matches_call_sites() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn fmt_time_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

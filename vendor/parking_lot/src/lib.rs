@@ -1,0 +1,79 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! This build environment has no access to the crates registry, so the
+//! workspace vendors a minimal API-compatible stand-in backed by
+//! `std::sync`. Only the surface actually used by the workspace is
+//! provided: [`Mutex::new`], [`Mutex::lock`] (guard, not `Result`) and
+//! [`Mutex::into_inner`]. Swap the `[workspace.dependencies]` entry for
+//! the real crate once the registry is reachable; no call sites change.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion primitive with `parking_lot`'s panic-proof API:
+/// `lock()` returns the guard directly instead of a `Result`.
+///
+/// Poisoning is deliberately ignored — `parking_lot` mutexes do not
+/// poison, so the shim unwraps `PoisonError` to preserve that contract.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`]; unlocks on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex wrapping `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1);
+        m.lock().extend([2, 3]);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 4000);
+    }
+}

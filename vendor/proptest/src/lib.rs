@@ -1,0 +1,111 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! This build environment has no access to the crates registry, so the
+//! workspace vendors a minimal API-compatible stand-in. It covers exactly
+//! the surface the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `arg in strategy` parameters),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges and tuples,
+//! - [`collection::vec`] and [`collection::btree_set`].
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (derived from the fully qualified test
+//! name), there is **no shrinking** — a failing case reports the case
+//! index so it can be replayed, since generation is deterministic — and
+//! `prop_assert*` panics instead of returning `Err`. Swap the
+//! `[workspace.dependencies]` entry for the real crate once the registry
+//! is reachable; no test changes.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Derives a stable 64-bit seed from a test's fully qualified name, so
+/// every test gets an independent but reproducible stream (FNV-1a).
+#[doc(hidden)]
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let qualified = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::TestRng::from_seed($crate::seed_for(qualified, case));
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Mirror the real crate: the body runs in a
+                    // `Result`-returning scope so `return Ok(())`
+                    // early-exits typecheck.
+                    let run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    };
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reject)) => panic!(
+                            "proptest shim: {qualified} rejected case {case}/{}: {reject}",
+                            config.cases
+                        ),
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest shim: {} failed at case {}/{} (deterministic; rerun reproduces it)",
+                                qualified, case, config.cases
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

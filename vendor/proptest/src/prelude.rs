@@ -1,0 +1,8 @@
+//! Everything a property-test file needs, mirroring
+//! `proptest::prelude::*`: the [`Strategy`] trait, [`ProptestConfig`],
+//! the `prop` module alias, and the assertion/definition macros.
+
+pub use crate as prop;
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

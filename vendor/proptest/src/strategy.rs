@@ -1,0 +1,136 @@
+//! The [`Strategy`] trait and its implementations for ranges and tuples.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real crate there is no intermediate value tree and no
+/// shrinking: `generate` produces a final value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from this strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy that post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

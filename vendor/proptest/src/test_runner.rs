@@ -1,0 +1,56 @@
+//! Test configuration and the deterministic generator behind strategies.
+
+pub use rand::rngs::SmallRng as TestRngInner;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` is honoured; the real crate's other knobs don't exist
+/// here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; this shim keeps CI latency low
+        // (every workspace proptest block sets an explicit count anyway).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator strategies draw from. Deterministic per (test, case).
+#[derive(Clone, Debug)]
+pub struct TestRng(TestRngInner);
+
+impl TestRng {
+    /// Builds a generator from a raw 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(TestRngInner::seed_from_u64(seed))
+    }
+
+    /// Returns 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        use rand::Rng;
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

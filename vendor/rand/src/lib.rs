@@ -1,0 +1,265 @@
+//! Offline shim for the `rand` crate (0.8-era API subset).
+//!
+//! This build environment has no access to the crates registry, so the
+//! workspace vendors a minimal stand-in covering exactly the surface the
+//! code uses: [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::SmallRng`], and the [`seq::SliceRandom`] slice helpers
+//! (`choose`, `choose_multiple`, `shuffle`). The generator is a
+//! deterministic xoshiro256++ — statistically solid for data generation
+//! and benchmarks, **not** cryptographic. Swap the
+//! `[workspace.dependencies]` entry for the real crate once the registry
+//! is reachable; no call sites change.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from the type's "standard" distribution: the unit
+    /// interval `[0, 1)` for floats, all values for integers and `bool`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types [`Rng::gen`] can sample from their standard distribution.
+pub trait StandardSample {
+    /// Draws one standard-distribution sample.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_sample_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that [`Rng::gen_range`] can sample a single value from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer below `n` via Lemire-style widening multiply with a
+/// rejection step, so every value is exactly equally likely.
+pub(crate) fn below_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = (rng.next_u64() as u128) * (n as u128);
+    let mut low = m as u64;
+    if low < n {
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            m = (rng.next_u64() as u128) * (n as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + below_u64(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + below_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(below_u64(rng, span as u64) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(below_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard against FP rounding landing exactly on the excluded end.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..16).map(|_| r.gen_range(0..1000u32)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..16).map(|_| r.gen_range(0..1000u32)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(43);
+            (0..16).map(|_| r.gen_range(0..1000u32)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..10u32);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(1..=3usize);
+            assert!((1..=3).contains(&w));
+            let f = r.gen_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&f));
+            let s = r.gen_range(-5..5i32);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut r = SmallRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_impl(rng: &mut impl Rng) -> u32 {
+            rng.gen_range(0..10u32)
+        }
+        let mut r = SmallRng::seed_from_u64(1);
+        let v = takes_impl(&mut r);
+        assert!(v < 10);
+    }
+}

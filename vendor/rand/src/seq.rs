@@ -1,0 +1,110 @@
+//! Slice sampling helpers mirroring `rand::seq::SliceRandom`.
+
+use crate::{below_u64, RngCore};
+
+/// Random selection and shuffling on slices.
+///
+/// `choose_multiple` returns an iterator (as the real crate does) so call
+/// sites can chain `.copied().collect()` unchanged. Sampling is without
+/// replacement; if `amount >= len` every element is returned once, in
+/// random order.
+pub trait SliceRandom {
+    /// The element type of the underlying slice.
+    type Item;
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns `amount.min(len)` distinct elements in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher-Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[below_u64(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher-Yates over an index table: O(len) space, O(amount)
+        // swaps — the slices sampled here are small.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + below_u64(rng, (self.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = below_u64(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SliceRandom;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_is_uniformish_and_none_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let pool = [0u32, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[*pool.choose(&mut rng).unwrap() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "counts = {counts:?}");
+    }
+
+    #[test]
+    fn choose_multiple_is_without_replacement() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pool: Vec<u32> = (0..20).collect();
+        for amount in [0, 1, 5, 20, 50] {
+            let picked: Vec<u32> = pool.choose_multiple(&mut rng, amount).copied().collect();
+            assert_eq!(picked.len(), amount.min(pool.len()));
+            let distinct: std::collections::HashSet<_> = picked.iter().collect();
+            assert_eq!(distinct.len(), picked.len(), "duplicates at {amount}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is ~impossible");
+    }
+}
