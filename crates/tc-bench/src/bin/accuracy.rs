@@ -12,6 +12,7 @@ use tc_data::{generate_planted, PlantedConfig};
 
 fn main() {
     let args = BenchArgs::from_env();
+    args.warn_unused_json();
     // Two tiers of planted communities: strong themes (f = 0.9) and weak
     // themes (f = 0.25) that the ε-prefilter endangers.
     let strong = generate_planted(&PlantedConfig {

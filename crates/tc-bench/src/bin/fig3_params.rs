@@ -11,6 +11,7 @@ use tc_graph::bfs_edge_sample;
 
 fn main() {
     let args = BenchArgs::from_env();
+    args.warn_unused_json();
     let alphas: Vec<f64> = if args.quick {
         vec![0.0, 0.2, 0.5, 1.0, 2.0]
     } else {

@@ -16,6 +16,7 @@ const TIME_BUDGET_SECS: f64 = 30.0;
 
 fn main() {
     let args = BenchArgs::from_env();
+    args.warn_unused_json();
     let datasets: Vec<Dataset> = args
         .datasets()
         .into_iter()

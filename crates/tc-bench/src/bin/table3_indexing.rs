@@ -11,6 +11,7 @@ static ALLOC: tc_bench::alloc::CountingAlloc = tc_bench::alloc::CountingAlloc;
 
 fn main() {
     let args = BenchArgs::from_env();
+    args.warn_unused_json();
     let mut table = Table::new(
         format!("Table 3 — TC-Tree indexing (scale {})", args.scale),
         &[

@@ -18,11 +18,12 @@
 //! | `case_study` | §7.4 / Table 4 / Figure 6 (co-author case study) |
 //! | `accuracy` | extra: planted-community precision/recall |
 //! | `ablation_pruning` | extra: §7.1 MPTD-call-count ablation |
+//! | `storage_bench` | extra: text-load vs `tc-store` segment-open query latency (the CI `BENCH_pr.json` telemetry source) |
 //! | `run_all` | drives every experiment in sequence |
 
 pub mod alloc;
 pub mod report;
 pub mod workloads;
 
-pub use report::{fmt_count, fmt_f64, fmt_secs, Table};
+pub use report::{fmt_count, fmt_f64, fmt_secs, JsonReport, Table};
 pub use workloads::{build_dataset, BenchArgs, Dataset};

@@ -125,6 +125,9 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Restrict to one dataset, if given.
     pub only: Option<Dataset>,
+    /// Where to write the machine-readable telemetry report
+    /// (`--json <path>`), for binaries that support it.
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -133,6 +136,7 @@ impl Default for BenchArgs {
             scale: 1.0,
             quick: false,
             only: None,
+            json: None,
         }
     }
 }
@@ -156,6 +160,10 @@ impl BenchArgs {
                         .unwrap_or_else(|| usage("--dataset needs a value"));
                     out.only = Some(Dataset::parse(&v).unwrap_or_else(|| usage("unknown dataset")));
                 }
+                "--json" => {
+                    let v = it.next().unwrap_or_else(|| usage("--json needs a path"));
+                    out.json = Some(std::path::PathBuf::from(v));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -175,13 +183,28 @@ impl BenchArgs {
             None => Dataset::ALL.to_vec(),
         }
     }
+
+    /// Called by binaries that do not emit telemetry: warns when the user
+    /// passed `--json` so the flag is never silently dropped.
+    pub fn warn_unused_json(&self) {
+        if let Some(path) = &self.json {
+            eprintln!(
+                "warning: this binary does not emit telemetry; --json {} is ignored \
+                 (use the storage_bench binary)",
+                path.display()
+            );
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale <f64>] [--quick] [--dataset bk|gw|aminer|syn]");
+    eprintln!(
+        "usage: <bin> [--scale <f64>] [--quick] [--dataset bk|gw|aminer|syn] [--json <path>]\n\
+         (--json is consumed by telemetry-emitting binaries, currently storage_bench)"
+    );
     std::process::exit(2);
 }
 
@@ -201,14 +224,23 @@ mod tests {
     #[test]
     fn args_parse() {
         let a = BenchArgs::parse(
-            ["--scale", "0.5", "--quick", "--dataset", "bk"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "0.5",
+                "--quick",
+                "--dataset",
+                "bk",
+                "--json",
+                "out.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.scale, 0.5);
         assert!(a.quick);
         assert_eq!(a.only, Some(Dataset::Bk));
         assert_eq!(a.datasets(), vec![Dataset::Bk]);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Subcommand implementations for the `tc` binary.
+//!
+//! Networks and TC-Trees exist in two formats — the line-oriented text
+//! formats (`dbnet v1` / `tctree v1`) and the binary segment format of
+//! `tc-store`. Readers auto-detect by magic bytes; writers pick by the
+//! `--format` flag (`auto` follows the `.seg` extension).
 
 use std::path::Path;
 use tc_core::{DatabaseNetwork, Miner, TcfaMiner, TcfiMiner, TcsMiner};
 use tc_index::{TcTree, TcTreeBuilder};
+use tc_store::{DetectedFormat, SegmentTcTree};
 use tc_txdb::Pattern;
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -60,7 +66,18 @@ fn fail(msg: impl std::fmt::Display) -> i32 {
     2
 }
 
-/// `tc generate --kind K --out PATH [--scale F] [--seed N]`
+/// Resolves `--format auto|text|seg` against an output path: `auto`
+/// follows the `.seg` extension.
+fn wants_segment(format: Option<&str>, out: &str) -> Result<bool, String> {
+    match format.unwrap_or("auto") {
+        "seg" => Ok(true),
+        "text" => Ok(false),
+        "auto" => Ok(Path::new(out).extension().is_some_and(|e| e == "seg")),
+        other => Err(format!("unknown --format '{other}' (auto|text|seg)")),
+    }
+}
+
+/// `tc generate --kind K --out PATH [--scale F] [--seed N] [--format auto|text|seg]`
 pub fn generate(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
         Ok(f) => f,
@@ -119,7 +136,12 @@ pub fn generate(args: &[String]) -> i32 {
         other => return fail(format!("unknown kind '{other}'")),
     };
 
-    if let Err(e) = tc_data::save_network_to_path(&network, Path::new(out)) {
+    let save = match wants_segment(flags.get("format"), out) {
+        Ok(true) => tc_store::save_network_segment_to_path(&network, Path::new(out)),
+        Ok(false) => tc_data::save_network_to_path(&network, Path::new(out)),
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = save {
         return fail(e);
     }
     let s = network.stats();
@@ -130,8 +152,21 @@ pub fn generate(args: &[String]) -> i32 {
     0
 }
 
+/// Loads a network in either format, auto-detected by magic bytes.
 fn load_net(path: &str) -> Result<DatabaseNetwork, String> {
-    tc_data::load_network_from_path(Path::new(path)).map_err(|e| e.to_string())
+    let p = Path::new(path);
+    match tc_store::detect_format(p).map_err(|e| e.to_string())? {
+        DetectedFormat::SegmentNetwork => {
+            tc_store::load_network_segment_from_path(p).map_err(|e| e.to_string())
+        }
+        DetectedFormat::TextNetwork => {
+            tc_data::load_network_from_path(p).map_err(|e| e.to_string())
+        }
+        DetectedFormat::SegmentTree | DetectedFormat::TextTree => {
+            Err(format!("{path} holds a TC-Tree, expected a network"))
+        }
+        DetectedFormat::Unknown => Err(format!("{path} is not a recognised network format")),
+    }
 }
 
 /// `tc stats <net.dbnet>`
@@ -220,14 +255,14 @@ pub fn mine(args: &[String]) -> i32 {
     0
 }
 
-/// `tc index <net.dbnet> --out tree.tct [--threads N]`
+/// `tc index <net> --out tree.tct|tree.seg [--threads N] [--format auto|text|seg]`
 pub fn index(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
     let Some(path) = flags.positional.first() else {
-        return fail("usage: tc index <net.dbnet> --out <tree.tct>");
+        return fail("usage: tc index <net> --out <tree.tct|tree.seg>");
     };
     let Some(out) = flags.get("out") else {
         return fail("--out is required");
@@ -245,7 +280,12 @@ pub fn index(args: &[String]) -> i32 {
         max_len: usize::MAX,
     }
     .build(&net);
-    if let Err(e) = tree.save_to_path(Path::new(out)) {
+    let save = match wants_segment(flags.get("format"), out) {
+        Ok(true) => tc_store::save_tree_segment_to_path(&tree, Path::new(out)),
+        Ok(false) => tree.save_to_path(Path::new(out)),
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = save {
         return fail(e);
     }
     println!(
@@ -258,7 +298,45 @@ pub fn index(args: &[String]) -> i32 {
     0
 }
 
-/// `tc query <tree.tct> [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
+/// A query backend: the fully-parsed text tree or the lazy segment tree.
+enum LoadedTree {
+    Mem(TcTree),
+    Seg(SegmentTcTree),
+}
+
+impl LoadedTree {
+    fn open(path: &str) -> Result<LoadedTree, String> {
+        let p = Path::new(path);
+        match tc_store::detect_format(p).map_err(|e| e.to_string())? {
+            DetectedFormat::SegmentTree => Ok(LoadedTree::Seg(
+                SegmentTcTree::open(p).map_err(|e| e.to_string())?,
+            )),
+            DetectedFormat::TextTree => Ok(LoadedTree::Mem(
+                TcTree::load_from_path(p).map_err(|e| e.to_string())?,
+            )),
+            DetectedFormat::SegmentNetwork | DetectedFormat::TextNetwork => {
+                Err(format!("{path} holds a network, expected a TC-Tree"))
+            }
+            DetectedFormat::Unknown => Err(format!("{path} is not a recognised TC-Tree format")),
+        }
+    }
+
+    fn query(&self, q: &Pattern, alpha: f64) -> Result<tc_index::QueryResult, String> {
+        match self {
+            LoadedTree::Mem(t) => Ok(t.query(q, alpha)),
+            LoadedTree::Seg(t) => t.query(q, alpha).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn query_by_alpha(&self, alpha: f64) -> Result<tc_index::QueryResult, String> {
+        match self {
+            LoadedTree::Mem(t) => Ok(t.query_by_alpha(alpha)),
+            LoadedTree::Seg(t) => t.query_by_alpha(alpha).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// `tc query <tree.tct|tree.seg> [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
 #[allow(clippy::too_many_lines)]
 pub fn query(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
@@ -266,13 +344,13 @@ pub fn query(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let Some(path) = flags.positional.first() else {
-        return fail("usage: tc query <tree.tct> [--alpha F] [--pattern items]");
+        return fail("usage: tc query <tree.tct|tree.seg> [--alpha F] [--pattern items]");
     };
     let alpha = match flags.get_f64("alpha", 0.0) {
         Ok(a) => a,
         Err(e) => return fail(e),
     };
-    let tree = match TcTree::load_from_path(Path::new(path)) {
+    let tree = match LoadedTree::open(path) {
         Ok(t) => t,
         Err(e) => return fail(e),
     };
@@ -308,11 +386,22 @@ pub fn query(args: &[String]) -> i32 {
             tree.query(&Pattern::new(items), alpha)
         }
     };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
 
     println!(
         "retrieved {} maximal pattern trusses in {:.6}s ({} nodes visited)",
         result.retrieved_nodes, result.elapsed_secs, result.visited_nodes
     );
+    if let LoadedTree::Seg(seg) = &tree {
+        println!(
+            "segment backend: materialized {} of {} nodes on demand",
+            seg.materialized_nodes(),
+            seg.num_nodes()
+        );
+    }
     for t in result.trusses.iter().take(20) {
         let rendered = match &net {
             Some(n) => n.item_space().render(&t.pattern),
@@ -327,6 +416,71 @@ pub fn query(args: &[String]) -> i32 {
     if result.trusses.len() > 20 {
         println!("  … and {} more", result.trusses.len() - 20);
     }
+    0
+}
+
+/// `tc convert <in> <out> [--to auto|text|seg]`
+///
+/// Converts networks and TC-Trees between the text and segment formats.
+/// The input kind is auto-detected; `--to auto` (the default) targets the
+/// `.seg` extension or, absent that, the opposite of the input's format.
+pub fn convert(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let (Some(input), Some(output)) = (flags.positional.first(), flags.positional.get(1)) else {
+        return fail("usage: tc convert <in> <out> [--to auto|text|seg]");
+    };
+    let detected = match tc_store::detect_format(Path::new(input)) {
+        Ok(DetectedFormat::Unknown) => {
+            return fail(format!(
+                "{input} is not a recognised network or tree format"
+            ))
+        }
+        Ok(d) => d,
+        Err(e) => return fail(e),
+    };
+    let to_segment = match flags.get("to") {
+        // `auto` with no .seg extension: flip the input's format.
+        None | Some("auto") if Path::new(output).extension().is_none_or(|e| e != "seg") => {
+            matches!(
+                detected,
+                DetectedFormat::TextNetwork | DetectedFormat::TextTree
+            )
+        }
+        other => match wants_segment(other, output) {
+            Ok(seg) => seg,
+            Err(e) => return fail(e),
+        },
+    };
+    let (input, output) = (Path::new(input), Path::new(output));
+    let result = match (detected, to_segment) {
+        (DetectedFormat::TextNetwork, true) => {
+            tc_store::convert::network_text_to_segment(input, output)
+        }
+        (DetectedFormat::SegmentNetwork, false) => {
+            tc_store::convert::network_segment_to_text(input, output)
+        }
+        (DetectedFormat::TextTree, true) => tc_store::convert::tree_text_to_segment(input, output),
+        (DetectedFormat::SegmentTree, false) => {
+            tc_store::convert::tree_segment_to_text(input, output)
+        }
+        (DetectedFormat::TextNetwork | DetectedFormat::TextTree, false)
+        | (DetectedFormat::SegmentNetwork | DetectedFormat::SegmentTree, true) => {
+            return fail("input is already in the requested format");
+        }
+        (DetectedFormat::Unknown, _) => unreachable!("rejected above"),
+    };
+    if let Err(e) = result {
+        return fail(e);
+    }
+    println!(
+        "converted {} -> {} ({})",
+        input.display(),
+        output.display(),
+        if to_segment { "segment" } else { "text" }
+    );
     0
 }
 
@@ -446,6 +600,76 @@ mod tests {
 
         std::fs::remove_file(&net).ok();
         std::fs::remove_file(&tree).ok();
+    }
+
+    #[test]
+    fn segment_pipeline_in_process() {
+        let dir = std::env::temp_dir().join("tc_cli_seg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_txt = dir.join("seg.dbnet");
+        let net_seg = dir.join("seg.netseg.seg");
+        let tree_seg = dir.join("seg.tree.seg");
+        let tree_txt = dir.join("seg.tree.tct");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+
+        // generate directly to a segment (extension-driven).
+        assert_eq!(
+            generate(&strs(&[
+                "--kind",
+                "planted",
+                "--out",
+                &s(&net_seg),
+                "--seed",
+                "5"
+            ])),
+            0
+        );
+        // stats and mine auto-detect the segment network.
+        assert_eq!(stats(&strs(&[&s(&net_seg)])), 0);
+        assert_eq!(
+            mine(&strs(&[&s(&net_seg), "--alpha", "0.1", "--top", "2"])),
+            0
+        );
+        // index a segment network into a segment tree, query it.
+        assert_eq!(
+            index(&strs(&[
+                &s(&net_seg),
+                "--out",
+                &s(&tree_seg),
+                "--format",
+                "seg"
+            ])),
+            0
+        );
+        assert_eq!(query(&strs(&[&s(&tree_seg), "--alpha", "0.1"])), 0);
+        assert_eq!(
+            query(&strs(&[
+                &s(&tree_seg),
+                "--pattern",
+                "0,1",
+                "--network",
+                &s(&net_seg)
+            ])),
+            0
+        );
+        // convert both ways; querying a network file fails cleanly.
+        assert_eq!(convert(&strs(&[&s(&net_seg), &s(&net_txt)])), 0);
+        assert_eq!(
+            convert(&strs(&[&s(&tree_seg), &s(&tree_txt), "--to", "text"])),
+            0
+        );
+        assert_eq!(query(&strs(&[&s(&tree_txt), "--alpha", "0.1"])), 0);
+        assert_eq!(query(&strs(&[&s(&net_seg)])), 2);
+        assert_eq!(stats(&strs(&[&s(&tree_seg)])), 2);
+        // Re-converting to the same format is rejected.
+        assert_eq!(
+            convert(&strs(&[&s(&net_seg), &s(&net_txt), "--to", "seg"])),
+            2
+        );
+
+        for p in [&net_txt, &net_seg, &tree_seg, &tree_txt] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! tc generate --kind checkin|coauthor|syn|planted --out net.dbnet [--scale F] [--seed N]
-//! tc stats   <net.dbnet>
-//! tc mine    <net.dbnet> --alpha F [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
-//! tc index   <net.dbnet> --out tree.tct [--threads N]
-//! tc query   <tree.tct> [--alpha F] [--pattern i1,i2,…] [--network net.dbnet]
+//! tc stats   <net>
+//! tc mine    <net> --alpha F [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
+//! tc index   <net> --out tree.tct|tree.seg [--threads N] [--format auto|text|seg]
+//! tc query   <tree> [--alpha F] [--pattern i1,i2,…] [--network net]
+//! tc convert <in> <out> [--to auto|text|seg]
 //! ```
+//!
+//! Network and tree arguments accept both the text formats and the binary
+//! segment format; readers auto-detect by magic bytes.
 
 mod commands;
 
@@ -18,6 +22,7 @@ fn main() {
         Some("mine") => commands::mine(&args[1..]),
         Some("index") => commands::index(&args[1..]),
         Some("query") => commands::query(&args[1..]),
+        Some("convert") => commands::convert(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -36,17 +41,23 @@ fn print_usage() {
         "tc — theme communities from database networks (VLDB 2019)
 
 USAGE:
-  tc generate --kind <checkin|coauthor|syn|planted> --out <net.dbnet> [--scale F] [--seed N]
-  tc stats    <net.dbnet>
-  tc mine     <net.dbnet> --alpha <F> [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
-  tc index    <net.dbnet> --out <tree.tct> [--threads N]
-  tc query    <tree.tct> [--alpha F] [--pattern items] [--network net.dbnet]
+  tc generate --kind <checkin|coauthor|syn|planted> --out <net> [--scale F] [--seed N] [--format auto|text|seg]
+  tc stats    <net>
+  tc mine     <net> --alpha <F> [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
+  tc index    <net> --out <tree.tct|tree.seg> [--threads N] [--format auto|text|seg]
+  tc query    <tree> [--alpha F] [--pattern items] [--network net]
+  tc convert  <in> <out> [--to auto|text|seg]
+
+Readers auto-detect the text formats (dbnet/tctree) and the binary
+segment format (.seg) by magic bytes; --format auto writes a segment
+when the output path ends in .seg.
 
 EXAMPLES:
   tc generate --kind coauthor --out aminer.dbnet
   tc mine aminer.dbnet --alpha 0.1 --top 10
-  tc index aminer.dbnet --out aminer.tct
-  tc query aminer.tct --alpha 0.2
-  tc query aminer.tct --pattern 'data mining,sequential pattern' --network aminer.dbnet"
+  tc index aminer.dbnet --out aminer.seg --format seg
+  tc query aminer.seg --alpha 0.2
+  tc query aminer.seg --pattern 'data mining,sequential pattern' --network aminer.dbnet
+  tc convert aminer.dbnet aminer.seg"
     );
 }

@@ -113,6 +113,67 @@ fn mine_index_query_pipeline() {
 }
 
 #[test]
+fn segment_format_round_trip() {
+    let scratch = Scratch::new("segment");
+    let net = scratch.path("net.dbnet");
+    let tree_seg = scratch.path("tree.seg");
+    let tree_txt = scratch.path("tree.tct");
+
+    let out = tc(&[
+        "generate", "--kind", "planted", "--out", &net, "--seed", "11",
+    ]);
+    assert_success(&out, "tc generate");
+
+    // Index straight into the binary segment format.
+    let out = tc(&["index", &net, "--out", &tree_seg, "--format", "seg"]);
+    assert_success(&out, "tc index --format seg");
+
+    // Query auto-detects the segment by magic bytes and reports laziness.
+    let out = tc(&["query", &tree_seg, "--alpha", "0.1"]);
+    assert_success(&out, "tc query (segment)");
+    assert!(
+        stdout(&out).contains("segment backend: materialized"),
+        "segment query should report on-demand materialisation:\n{}",
+        stdout(&out)
+    );
+
+    // Convert segment → text; the text tree answers the same query.
+    let out = tc(&["convert", &tree_seg, &tree_txt, "--to", "text"]);
+    assert_success(&out, "tc convert");
+    let seg_answer = stdout(&tc(&["query", &tree_seg, "--alpha", "0.1"]));
+    let txt_answer = stdout(&tc(&["query", &tree_txt, "--alpha", "0.1"]));
+    let retrieved = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("retrieved"))
+            .map(|l| l.split_whitespace().nth(1).unwrap().to_string())
+    };
+    assert_eq!(
+        retrieved(&seg_answer),
+        retrieved(&txt_answer),
+        "segment and text backends disagree:\n{seg_answer}\n{txt_answer}"
+    );
+
+    // A corrupted segment fails with a checksum diagnostic, not a crash.
+    // Damage the last page — the tail of the lazily-read LEVELS section —
+    // and query at α = 0, which materialises every node and so must read it.
+    let mut bytes = std::fs::read(&tree_seg).expect("read segment");
+    let pos = bytes.len() - 100;
+    bytes[pos] ^= 0x40;
+    std::fs::write(&tree_seg, &bytes).expect("write damaged segment");
+    let out = tc(&["query", &tree_seg, "--alpha", "0.0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "damaged segment must be an error"
+    );
+    assert!(
+        stderr(&out).contains("checksum") || stderr(&out).contains("corrupt"),
+        "diagnostic should name the damage:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn help_and_error_paths() {
     // --help prints usage and succeeds.
     let out = tc(&["--help"]);

@@ -20,34 +20,13 @@ use std::io::{BufRead, Write};
 use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
 use tc_txdb::Item;
 
-/// Errors raised while reading a persisted network.
-#[derive(Debug)]
-pub enum LoadError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// Structurally invalid content.
-    Corrupt(String),
-}
-
-impl std::fmt::Display for LoadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Corrupt(m) => write!(f, "corrupt dbnet file: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for LoadError {}
-
-impl From<std::io::Error> for LoadError {
-    fn from(e: std::io::Error) -> Self {
-        LoadError::Io(e)
-    }
-}
+/// Errors raised while reading a persisted network — the shared
+/// [`tc_util::LoadError`], re-exported so existing call sites keep
+/// compiling unchanged.
+pub use tc_util::LoadError;
 
 fn corrupt(msg: impl Into<String>) -> LoadError {
-    LoadError::Corrupt(msg.into())
+    LoadError::Corrupt(format!("dbnet: {}", msg.into()))
 }
 
 /// Writes `network` to `w` in the v1 text format.

@@ -21,34 +21,13 @@ use std::io::{BufRead, Write};
 use tc_core::{TrussDecomposition, TrussLevel};
 use tc_txdb::{Item, Pattern};
 
-/// Errors raised while reading a persisted TC-Tree.
-#[derive(Debug)]
-pub enum LoadError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// Structurally invalid content, with a human-readable reason.
-    Corrupt(String),
-}
-
-impl std::fmt::Display for LoadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Corrupt(m) => write!(f, "corrupt tctree file: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for LoadError {}
-
-impl From<std::io::Error> for LoadError {
-    fn from(e: std::io::Error) -> Self {
-        LoadError::Io(e)
-    }
-}
+/// Errors raised while reading a persisted TC-Tree — the shared
+/// [`tc_util::LoadError`], re-exported so existing call sites keep
+/// compiling unchanged.
+pub use tc_util::LoadError;
 
 fn corrupt(msg: impl Into<String>) -> LoadError {
-    LoadError::Corrupt(msg.into())
+    LoadError::Corrupt(format!("tctree: {}", msg.into()))
 }
 
 impl TcTree {

@@ -1,0 +1,90 @@
+//! Conversions between the text formats (`tc_data::io`,
+//! `tc_index::serialize`) and the binary segment format, both ways.
+//!
+//! The text formats stay the import/export path — human-readable and
+//! diff-friendly; segments are the serving path. These helpers compose the
+//! two codecs so callers (the `tc convert` subcommand, scripts) never
+//! touch both APIs by hand.
+
+use crate::network::{load_network_segment_from_path, save_network_segment_to_path};
+use crate::tree::{load_tree_segment_from_path, save_tree_segment_to_path};
+use std::path::Path;
+use tc_index::TcTree;
+use tc_util::LoadError;
+
+/// Text network (`dbnet v1`) → network segment.
+pub fn network_text_to_segment(input: &Path, output: &Path) -> Result<(), LoadError> {
+    let net = tc_data::load_network_from_path(input)?;
+    save_network_segment_to_path(&net, output)?;
+    Ok(())
+}
+
+/// Network segment → text network (`dbnet v1`).
+pub fn network_segment_to_text(input: &Path, output: &Path) -> Result<(), LoadError> {
+    let net = load_network_segment_from_path(input)?;
+    tc_data::save_network_to_path(&net, output)?;
+    Ok(())
+}
+
+/// Text TC-Tree (`tctree v1`) → tree segment.
+pub fn tree_text_to_segment(input: &Path, output: &Path) -> Result<(), LoadError> {
+    let tree = TcTree::load_from_path(input)?;
+    save_tree_segment_to_path(&tree, output)?;
+    Ok(())
+}
+
+/// Tree segment → text TC-Tree (`tctree v1`).
+pub fn tree_segment_to_text(input: &Path, output: &Path) -> Result<(), LoadError> {
+    let tree = load_tree_segment_from_path(input)?;
+    tree.save_to_path(output)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::DatabaseNetworkBuilder;
+    use tc_index::TcTreeBuilder;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tc_store_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn text_segment_text_roundtrips_are_byte_identical() {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("alpha");
+        let y = b.intern_item("beta");
+        for v in 0..3u32 {
+            b.add_transaction(v, &[x, y]);
+            b.add_transaction(v, &[x]);
+        }
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        let net = b.build().unwrap();
+        let tree = TcTreeBuilder {
+            threads: 1,
+            max_len: usize::MAX,
+        }
+        .build(&net);
+
+        // Network: text → seg → text.
+        let t1 = scratch("n1.dbnet");
+        let seg = scratch("n.seg");
+        let t2 = scratch("n2.dbnet");
+        tc_data::save_network_to_path(&net, &t1).unwrap();
+        network_text_to_segment(&t1, &seg).unwrap();
+        network_segment_to_text(&seg, &t2).unwrap();
+        assert_eq!(std::fs::read(&t1).unwrap(), std::fs::read(&t2).unwrap());
+
+        // Tree: text → seg → text.
+        let t1 = scratch("t1.tct");
+        let seg = scratch("t.seg");
+        let t2 = scratch("t2.tct");
+        tree.save_to_path(&t1).unwrap();
+        tree_text_to_segment(&t1, &seg).unwrap();
+        tree_segment_to_text(&seg, &t2).unwrap();
+        assert_eq!(std::fs::read(&t1).unwrap(), std::fs::read(&t2).unwrap());
+    }
+}

@@ -1,0 +1,67 @@
+//! Disk-backed storage for database networks and TC-Trees — the
+//! "data warehouse of maximal pattern trusses" (§6) made durable.
+//!
+//! The text formats in `tc_data::io` and `tc_index::serialize` must be
+//! fully parsed into RAM before the first query. This crate adds an
+//! **append-only, paged, checksummed binary segment format** plus a lazy
+//! reader, so a TC-Tree can be *opened* and *queried* without
+//! deserialising the whole index:
+//!
+//! * [`page`] — the substrate: fixed-size pages, per-page CRC-32, a
+//!   magic/version header, and section-addressed byte streams;
+//! * [`network`] — segment save/load for [`tc_core::DatabaseNetwork`];
+//! * [`tree`] — segment save for [`tc_index::TcTree`] and
+//!   [`SegmentTcTree`], which serves QBA / QBP queries by materialising
+//!   truss decompositions on demand from page offsets;
+//! * [`sniff`] — format detection by magic bytes (segments vs. the two
+//!   text formats);
+//! * [`convert`] — text ↔ segment conversions, both directions, for both
+//!   value types.
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use tc_core::DatabaseNetworkBuilder;
+//! use tc_index::TcTreeBuilder;
+//! use tc_store::SegmentTcTree;
+//!
+//! let mut b = DatabaseNetworkBuilder::new();
+//! let beer = b.intern_item("beer");
+//! for v in 0..3u32 {
+//!     for _ in 0..4 {
+//!         b.add_transaction(v, &[beer]);
+//!     }
+//! }
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! let tree = TcTreeBuilder::default().build(&b.build().unwrap());
+//!
+//! let mut bytes = Vec::new();
+//! tc_store::save_tree_segment(&tree, &mut bytes).unwrap();
+//! let seg = SegmentTcTree::from_bytes(bytes).unwrap();
+//! assert_eq!(seg.materialized_nodes(), 0); // nothing parsed yet
+//! let answer = seg.query_by_alpha(0.0).unwrap();
+//! assert_eq!(answer.retrieved_nodes, tree.query_by_alpha(0.0).retrieved_nodes);
+//! ```
+//!
+//! Corruption anywhere in a segment file — bit flips, truncation, torn
+//! writes — surfaces as [`LoadError::Checksum`] or [`LoadError::Corrupt`],
+//! never a panic; see `tests/corruption.rs`.
+
+pub mod convert;
+pub mod network;
+pub mod page;
+pub mod sniff;
+pub mod tree;
+
+pub use network::{
+    load_network_segment_from_bytes, load_network_segment_from_path, save_network_segment,
+    save_network_segment_to_path,
+};
+pub use page::{SegmentKind, PAGE_SIZE};
+pub use sniff::{detect_format, DetectedFormat};
+pub use tc_util::LoadError;
+pub use tree::{
+    load_tree_segment_from_path, save_tree_segment, save_tree_segment_to_path, SegmentTcTree,
+};

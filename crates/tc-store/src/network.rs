@@ -1,0 +1,294 @@
+//! Binary segment persistence for [`DatabaseNetwork`] (segment kind 1).
+//!
+//! Three sections:
+//!
+//! | id | name  | stream layout |
+//! |----|-------|---------------|
+//! | 1  | ITEMS | `count u32`, then per item `name_len u32 · utf-8 bytes` (dense ids) |
+//! | 2  | GRAPH | `vertices u64 · edge_count u64`, then per edge `u u32 · v u32` (canonical `u < v`, sorted) |
+//! | 3  | DBS   | `db_count u64`, then per non-empty vertex database `vertex u32 · tx_count u32`, then per transaction `item_count u32 · item u32 …` |
+//!
+//! Transactions are reconstructed from the vertical tidsets exactly like
+//! the text format in `tc_data::io`, so the two formats are semantically
+//! interchangeable and a save is a pure function of the network content —
+//! the byte-identity property the round-trip tests rely on.
+
+use crate::page::{write_segment, PageFile, SegmentKind};
+use std::io::Write;
+use std::path::Path;
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_txdb::Item;
+use tc_util::bytes::{put_u32, put_u64, ByteReader};
+use tc_util::LoadError;
+
+const SEC_ITEMS: u32 = 1;
+const SEC_GRAPH: u32 = 2;
+const SEC_DBS: u32 = 3;
+
+fn corrupt(msg: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(format!("netseg: {}", msg.into()))
+}
+
+/// Writes `network` to `w` as a segment file.
+pub fn save_network_segment<W: Write>(network: &DatabaseNetwork, w: &mut W) -> std::io::Result<()> {
+    let items_space = network.item_space();
+    let mut items = Vec::new();
+    put_u32(&mut items, items_space.len() as u32);
+    for item in items_space.items() {
+        let name = items_space.name(item).unwrap_or("");
+        put_u32(&mut items, name.len() as u32);
+        items.extend_from_slice(name.as_bytes());
+    }
+
+    let mut graph = Vec::new();
+    put_u64(&mut graph, network.num_vertices() as u64);
+    put_u64(&mut graph, network.num_edges() as u64);
+    for (u, v) in network.graph().edges() {
+        put_u32(&mut graph, u);
+        put_u32(&mut graph, v);
+    }
+
+    let mut dbs = Vec::new();
+    let nonempty: Vec<u32> = (0..network.num_vertices() as u32)
+        .filter(|&v| network.database(v).num_transactions() > 0)
+        .collect();
+    put_u64(&mut dbs, nonempty.len() as u64);
+    for v in nonempty {
+        let db = network.database(v);
+        let h = db.num_transactions();
+        put_u32(&mut dbs, v);
+        put_u32(&mut dbs, h as u32);
+        // Reconstruct horizontal transactions from the tidsets, as the
+        // text format does — tid order is normalised, not semantic.
+        let mut transactions: Vec<Vec<u32>> = vec![Vec::new(); h];
+        let mut db_items: Vec<Item> = db.items().collect();
+        db_items.sort_unstable();
+        for item in db_items {
+            if let Some(tidset) = db.tidset(item) {
+                for tid in tidset.iter() {
+                    transactions[tid].push(item.0);
+                }
+            }
+        }
+        for t in transactions {
+            put_u32(&mut dbs, t.len() as u32);
+            for id in t {
+                put_u32(&mut dbs, id);
+            }
+        }
+    }
+
+    write_segment(
+        w,
+        SegmentKind::Network,
+        &[(SEC_ITEMS, items), (SEC_GRAPH, graph), (SEC_DBS, dbs)],
+    )
+}
+
+/// Writes to a file path.
+pub fn save_network_segment_to_path(network: &DatabaseNetwork, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    save_network_segment(network, &mut f)
+}
+
+fn load_network_from_pages(pages: &PageFile) -> Result<DatabaseNetwork, LoadError> {
+    if pages.header().kind != SegmentKind::Network {
+        return Err(corrupt("segment holds a TC-Tree, not a network"));
+    }
+    let mut b = DatabaseNetworkBuilder::new();
+    let eof = || corrupt("section stream truncated");
+
+    let items = pages.read_section(&pages.header().section(SEC_ITEMS)?)?;
+    let mut r = ByteReader::new(&items);
+    let m = r.u32().ok_or_else(eof)?;
+    for expect in 0..m {
+        let len = r.u32().ok_or_else(eof)? as usize;
+        let raw = r.take(len).ok_or_else(eof)?;
+        let name = std::str::from_utf8(raw).map_err(|_| corrupt("item name not utf-8"))?;
+        let interned = b.intern_item(name);
+        if interned.0 != expect {
+            return Err(corrupt(format!("duplicate item name '{name}'")));
+        }
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes in ITEMS section"));
+    }
+
+    let graph = pages.read_section(&pages.header().section(SEC_GRAPH)?)?;
+    let mut r = ByteReader::new(&graph);
+    let n = r.u64().ok_or_else(eof)?;
+    if n > u32::MAX as u64 {
+        return Err(corrupt("vertex count overflows u32 ids"));
+    }
+    let e = r.u64().ok_or_else(eof)?;
+    for _ in 0..e {
+        let u = r.u32().ok_or_else(eof)?;
+        let v = r.u32().ok_or_else(eof)?;
+        if u as u64 >= n || v as u64 >= n {
+            return Err(corrupt("edge endpoint out of range"));
+        }
+        if u == v {
+            return Err(corrupt("self-loop edge"));
+        }
+        b.add_edge(u, v);
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes in GRAPH section"));
+    }
+
+    let dbs = pages.read_section(&pages.header().section(SEC_DBS)?)?;
+    let mut r = ByteReader::new(&dbs);
+    let db_count = r.u64().ok_or_else(eof)?;
+    for _ in 0..db_count {
+        let v = r.u32().ok_or_else(eof)?;
+        if v as u64 >= n {
+            return Err(corrupt("db vertex out of range"));
+        }
+        let h = r.u32().ok_or_else(eof)?;
+        for _ in 0..h {
+            let k = r.u32().ok_or_else(eof)?;
+            // Cap the pre-allocation by the bytes actually left: a crafted
+            // count must hit EOF below, not abort on a huge reservation.
+            let mut tx = Vec::with_capacity((k as usize).min(r.remaining() / 4));
+            for _ in 0..k {
+                let id = r.u32().ok_or_else(eof)?;
+                if id >= m {
+                    return Err(corrupt("transaction item out of range"));
+                }
+                tx.push(Item(id));
+            }
+            b.add_transaction(v, &tx);
+        }
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes in DBS section"));
+    }
+
+    if n > 0 {
+        b.ensure_vertex(n as u32 - 1);
+    }
+    b.build().map_err(|e| corrupt(e.to_string()))
+}
+
+/// Reads a network segment from a file path.
+pub fn load_network_segment_from_path(path: &Path) -> Result<DatabaseNetwork, LoadError> {
+    load_network_from_pages(&PageFile::open(path)?)
+}
+
+/// Reads a network segment from an in-memory image.
+pub fn load_network_segment_from_bytes(bytes: &[u8]) -> Result<DatabaseNetwork, LoadError> {
+    load_network_from_pages(&PageFile::from_bytes(bytes.to_vec())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_data::{generate_checkin, CheckinConfig};
+    use tc_txdb::Pattern;
+
+    fn sample() -> DatabaseNetwork {
+        generate_checkin(&CheckinConfig {
+            users: 25,
+            groups: 3,
+            group_size: 6,
+            locations: 20,
+            periods: 8,
+            ..CheckinConfig::default()
+        })
+        .network
+    }
+
+    #[test]
+    fn roundtrip_preserves_stats_names_and_frequencies() {
+        let net = sample();
+        let mut buf = Vec::new();
+        save_network_segment(&net, &mut buf).unwrap();
+        let loaded = load_network_segment_from_bytes(&buf).unwrap();
+        assert_eq!(loaded.stats(), net.stats());
+        for item in net.item_space().items() {
+            assert_eq!(net.item_space().name(item), loaded.item_space().name(item));
+        }
+        for item in net.items_in_use().into_iter().take(10) {
+            let p = Pattern::singleton(item);
+            for v in 0..net.num_vertices() as u32 {
+                assert!((net.frequency(v, &p) - loaded.frequency(v, &p)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn resave_is_byte_identical() {
+        let net = sample();
+        let mut first = Vec::new();
+        save_network_segment(&net, &mut first).unwrap();
+        let loaded = load_network_segment_from_bytes(&first).unwrap();
+        let mut second = Vec::new();
+        save_network_segment(&loaded, &mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = sample();
+        let dir = std::env::temp_dir().join("tc_store_net_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.seg");
+        save_network_segment_to_path(&net, &path).unwrap();
+        let loaded = load_network_segment_from_path(&path).unwrap();
+        assert_eq!(loaded.stats(), net.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tree_segment_is_rejected_as_network() {
+        let net = sample();
+        let tree = tc_index::TcTreeBuilder {
+            threads: 1,
+            max_len: 1,
+        }
+        .build(&net);
+        let mut buf = Vec::new();
+        crate::tree::save_tree_segment(&tree, &mut buf).unwrap();
+        let err = load_network_segment_from_bytes(&buf).unwrap_err();
+        assert!(err.to_string().contains("TC-Tree"), "{err}");
+    }
+
+    #[test]
+    fn crafted_transaction_count_errors_without_huge_allocation() {
+        use crate::page::write_segment;
+        use tc_util::bytes::{put_u32, put_u64};
+        let mut items = Vec::new();
+        put_u32(&mut items, 1);
+        put_u32(&mut items, 1);
+        items.push(b'a');
+        let mut graph = Vec::new();
+        put_u64(&mut graph, 2);
+        put_u64(&mut graph, 0);
+        let mut dbs = Vec::new();
+        put_u64(&mut dbs, 1);
+        put_u32(&mut dbs, 0); // vertex
+        put_u32(&mut dbs, 1); // one transaction …
+        put_u32(&mut dbs, u32::MAX); // … claiming four billion items
+        let mut buf = Vec::new();
+        write_segment(
+            &mut buf,
+            SegmentKind::Network,
+            &[(SEC_ITEMS, items), (SEC_GRAPH, graph), (SEC_DBS, dbs)],
+        )
+        .unwrap();
+        let err = load_network_segment_from_bytes(&buf).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn empty_network_roundtrips() {
+        let mut b = DatabaseNetworkBuilder::new();
+        b.ensure_vertex(2);
+        let net = b.build().unwrap();
+        let mut buf = Vec::new();
+        save_network_segment(&net, &mut buf).unwrap();
+        let loaded = load_network_segment_from_bytes(&buf).unwrap();
+        assert_eq!(loaded.num_vertices(), 3);
+        assert_eq!(loaded.num_edges(), 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The paged segment substrate: fixed-size CRC-checked pages, a
+//! checksummed header page, and section-addressed byte streams.
+//!
+//! ## File layout
+//!
+//! A segment file is a sequence of fixed-size pages ([`PAGE_SIZE`] bytes).
+//! Every page is self-checking:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length (LE u32, ≤ PAGE_CAP)
+//! 4       4     CRC-32 over the whole page except this field
+//! 8       len   payload
+//! 8+len   …     zero padding to PAGE_SIZE
+//! ```
+//!
+//! The checksum covers the length field *and* the padding, so any bit flip
+//! anywhere in the file lands in some page's checksummed region.
+//!
+//! Page 0 is the **header page**. Its payload is:
+//!
+//! ```text
+//! magic "TCSEG01\n" (8 bytes) · version u16 · kind u16 · page_size u32
+//! section_count u32 · per section: id u32, first_page u64,
+//! page_count u64, byte_len u64
+//! ```
+//!
+//! Each **section** is a logical byte stream chunked into consecutive
+//! pages: every page holds exactly [`PAGE_CAP`] payload bytes except the
+//! last, so byte offset → page arithmetic is a division. Readers fetch
+//! sub-ranges of a section without touching the rest of the file — the
+//! basis of the lazy TC-Tree reader in [`crate::tree`].
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use tc_util::bytes::{put_u16, put_u32, put_u64, ByteReader};
+use tc_util::{Crc32, LoadError};
+
+/// Bytes per page, header included.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes of page bookkeeping (payload length + CRC-32).
+pub const PAGE_HEADER: usize = 8;
+/// Payload capacity of one page.
+pub const PAGE_CAP: usize = PAGE_SIZE - PAGE_HEADER;
+/// The 8-byte magic prefix of every segment file (also the sniffing key).
+pub const MAGIC: [u8; 8] = *b"TCSEG01\n";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// What a segment file stores, recorded in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A [`tc_core::DatabaseNetwork`].
+    Network,
+    /// A [`tc_index::TcTree`].
+    TcTree,
+}
+
+impl SegmentKind {
+    fn code(self) -> u16 {
+        match self {
+            SegmentKind::Network => 1,
+            SegmentKind::TcTree => 2,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<SegmentKind> {
+        match code {
+            1 => Some(SegmentKind::Network),
+            2 => Some(SegmentKind::TcTree),
+            _ => None,
+        }
+    }
+}
+
+/// One section's location and extent, from the header page.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionInfo {
+    /// Format-defined section id (see [`crate::network`] / [`crate::tree`]).
+    pub id: u32,
+    /// First page of the section.
+    pub first_page: u64,
+    /// Number of pages the section spans.
+    pub page_count: u64,
+    /// Logical byte length of the section stream.
+    pub byte_len: u64,
+}
+
+/// The decoded header page.
+#[derive(Debug, Clone)]
+pub struct Header {
+    /// What the file stores.
+    pub kind: SegmentKind,
+    /// Sections in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl Header {
+    /// Finds a section by id.
+    pub fn section(&self, id: u32) -> Result<SectionInfo, LoadError> {
+        self.sections
+            .iter()
+            .copied()
+            .find(|s| s.id == id)
+            .ok_or_else(|| LoadError::corrupt(format!("segment: missing section {id}")))
+    }
+}
+
+/// Pages a section of `byte_len` bytes occupies.
+fn pages_for(byte_len: u64) -> u64 {
+    byte_len.div_ceil(PAGE_CAP as u64)
+}
+
+/// Encodes one page: length, checksum, payload, zero padding.
+fn encode_page(payload: &[u8]) -> [u8; PAGE_SIZE] {
+    assert!(payload.len() <= PAGE_CAP, "payload exceeds page capacity");
+    let mut page = [0u8; PAGE_SIZE];
+    page[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[PAGE_HEADER..PAGE_HEADER + payload.len()].copy_from_slice(payload);
+    let mut crc = Crc32::new();
+    crc.update(&page[..4]);
+    crc.update(&page[PAGE_HEADER..]);
+    page[4..8].copy_from_slice(&crc.finish().to_le_bytes());
+    page
+}
+
+/// Writes a complete segment file: header page, then every section chunked
+/// into pages. `sections` pairs a section id with its byte stream.
+pub fn write_segment<W: Write>(
+    w: &mut W,
+    kind: SegmentKind,
+    sections: &[(u32, Vec<u8>)],
+) -> std::io::Result<()> {
+    let mut header = Vec::with_capacity(PAGE_CAP);
+    header.extend_from_slice(&MAGIC);
+    put_u16(&mut header, VERSION);
+    put_u16(&mut header, kind.code());
+    put_u32(&mut header, PAGE_SIZE as u32);
+    put_u32(&mut header, sections.len() as u32);
+    let mut next_page = 1u64;
+    for (id, bytes) in sections {
+        put_u32(&mut header, *id);
+        put_u64(&mut header, next_page);
+        let pages = pages_for(bytes.len() as u64);
+        put_u64(&mut header, pages);
+        put_u64(&mut header, bytes.len() as u64);
+        next_page += pages;
+    }
+    assert!(header.len() <= PAGE_CAP, "header exceeds one page");
+
+    let mut w = std::io::BufWriter::new(w);
+    w.write_all(&encode_page(&header))?;
+    // An empty section spans zero pages; the header records byte_len 0.
+    for (_, bytes) in sections {
+        for chunk in bytes.chunks(PAGE_CAP) {
+            w.write_all(&encode_page(chunk))?;
+        }
+    }
+    w.flush()
+}
+
+/// Random-access page reader over a segment file (or an in-memory copy).
+///
+/// Every page read re-verifies that page's CRC, so damage in regions that
+/// are only touched lazily still surfaces as [`LoadError::Checksum`] at
+/// access time; [`PageFile::open`] additionally validates the header page
+/// and the file's total length eagerly, so truncation is caught up front.
+#[derive(Debug)]
+pub struct PageFile {
+    backing: Backing,
+    header: Header,
+}
+
+#[derive(Debug)]
+enum Backing {
+    File(parking_lot::Mutex<std::fs::File>),
+    Mem(Vec<u8>),
+}
+
+impl PageFile {
+    /// Opens `path`, validating the header page, section geometry, and the
+    /// total file length.
+    pub fn open(path: &Path) -> Result<PageFile, LoadError> {
+        let file = std::fs::File::open(path)?;
+        let actual_len = file.metadata()?.len();
+        Self::with_backing(Backing::File(parking_lot::Mutex::new(file)), actual_len)
+    }
+
+    /// Opens an in-memory segment image (tests, conversions).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<PageFile, LoadError> {
+        let len = bytes.len() as u64;
+        Self::with_backing(Backing::Mem(bytes), len)
+    }
+
+    fn with_backing(backing: Backing, actual_len: u64) -> Result<PageFile, LoadError> {
+        let mut pf = PageFile {
+            backing,
+            header: Header {
+                kind: SegmentKind::Network,
+                sections: Vec::new(),
+            },
+        };
+        pf.header = pf.read_header()?;
+        // Geometry: sections must tile pages 1.. contiguously, and the file
+        // must contain exactly the promised pages — truncation anywhere is
+        // caught here, before any lazy read.
+        let mut next_page = 1u64;
+        for s in &pf.header.sections {
+            if s.first_page != next_page {
+                return Err(LoadError::corrupt(format!(
+                    "segment: section {} starts at page {} (want {next_page})",
+                    s.id, s.first_page
+                )));
+            }
+            if s.page_count != pages_for(s.byte_len) {
+                return Err(LoadError::corrupt(format!(
+                    "segment: section {} spans {} pages for {} bytes",
+                    s.id, s.page_count, s.byte_len
+                )));
+            }
+            next_page += s.page_count;
+        }
+        let expect_len = next_page * PAGE_SIZE as u64;
+        if actual_len != expect_len {
+            return Err(LoadError::corrupt(format!(
+                "segment: file is {actual_len} bytes, header promises {expect_len}"
+            )));
+        }
+        Ok(pf)
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    fn read_raw_page(&self, index: u64) -> Result<[u8; PAGE_SIZE], LoadError> {
+        let mut page = [0u8; PAGE_SIZE];
+        let off = index * PAGE_SIZE as u64;
+        match &self.backing {
+            Backing::File(file) => {
+                let mut f = file.lock();
+                f.seek(SeekFrom::Start(off))?;
+                f.read_exact(&mut page).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                        LoadError::corrupt(format!("segment: page {index} truncated"))
+                    } else {
+                        LoadError::Io(e)
+                    }
+                })?;
+            }
+            Backing::Mem(bytes) => {
+                let start = off as usize;
+                let end = start + PAGE_SIZE;
+                if end > bytes.len() {
+                    return Err(LoadError::corrupt(format!(
+                        "segment: page {index} truncated"
+                    )));
+                }
+                page.copy_from_slice(&bytes[start..end]);
+            }
+        }
+        Ok(page)
+    }
+
+    /// Reads and checksum-verifies page `index`, returning its payload.
+    pub fn read_page(&self, index: u64) -> Result<Vec<u8>, LoadError> {
+        let page = self.read_raw_page(index)?;
+        let stored = u32::from_le_bytes([page[4], page[5], page[6], page[7]]);
+        let mut crc = Crc32::new();
+        crc.update(&page[..4]);
+        crc.update(&page[PAGE_HEADER..]);
+        if crc.finish() != stored {
+            return Err(LoadError::checksum(format!("segment: page {index}")));
+        }
+        let len = u32::from_le_bytes([page[0], page[1], page[2], page[3]]) as usize;
+        if len > PAGE_CAP {
+            return Err(LoadError::corrupt(format!(
+                "segment: page {index} claims {len} payload bytes"
+            )));
+        }
+        Ok(page[PAGE_HEADER..PAGE_HEADER + len].to_vec())
+    }
+
+    fn read_header(&self) -> Result<Header, LoadError> {
+        // Sniff the magic before trusting the page checksum, so a non-
+        // segment file reports "not a segment" instead of a CRC error.
+        let raw = self.read_raw_page(0)?;
+        if raw[PAGE_HEADER..PAGE_HEADER + MAGIC.len()] != MAGIC {
+            return Err(LoadError::corrupt("segment: bad magic (not a tcseg file)"));
+        }
+        let payload = self.read_page(0)?;
+        let mut r = ByteReader::new(&payload);
+        let eof = || LoadError::corrupt("segment: header page too short");
+        r.take(MAGIC.len()).ok_or_else(eof)?;
+        let version = r.u16().ok_or_else(eof)?;
+        if version != VERSION {
+            return Err(LoadError::corrupt(format!(
+                "segment: unsupported version {version} (reader supports {VERSION})"
+            )));
+        }
+        let kind_code = r.u16().ok_or_else(eof)?;
+        let kind = SegmentKind::from_code(kind_code)
+            .ok_or_else(|| LoadError::corrupt(format!("segment: unknown kind {kind_code}")))?;
+        let page_size = r.u32().ok_or_else(eof)?;
+        if page_size as usize != PAGE_SIZE {
+            return Err(LoadError::corrupt(format!(
+                "segment: page size {page_size} unsupported (want {PAGE_SIZE})"
+            )));
+        }
+        let count = r.u32().ok_or_else(eof)?;
+        // The header fits one page, which bounds the section count; reject
+        // absurd counts before allocating.
+        if count as usize > PAGE_CAP / 28 {
+            return Err(LoadError::corrupt(
+                "segment: section table overflows header",
+            ));
+        }
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            sections.push(SectionInfo {
+                id: r.u32().ok_or_else(eof)?,
+                first_page: r.u64().ok_or_else(eof)?,
+                page_count: r.u64().ok_or_else(eof)?,
+                byte_len: r.u64().ok_or_else(eof)?,
+            });
+        }
+        if !r.is_empty() {
+            return Err(LoadError::corrupt("segment: trailing bytes in header"));
+        }
+        Ok(Header { kind, sections })
+    }
+
+    /// Reads `len` bytes of section `s` starting at logical offset `start`,
+    /// touching (and verifying) only the pages that overlap the range.
+    pub fn read_section_range(
+        &self,
+        s: &SectionInfo,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, LoadError> {
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= s.byte_len)
+            .ok_or_else(|| {
+                LoadError::corrupt(format!(
+                    "segment: range {start}+{len} outside section {} ({} bytes)",
+                    s.id, s.byte_len
+                ))
+            })?;
+        let mut out = Vec::with_capacity(len as usize);
+        let cap = PAGE_CAP as u64;
+        let mut off = start;
+        while off < end {
+            let page_idx = off / cap;
+            let payload = self.read_page(s.first_page + page_idx)?;
+            let in_page = (off % cap) as usize;
+            let want = ((end - off) as usize).min(PAGE_CAP - in_page);
+            if payload.len() < in_page + want {
+                return Err(LoadError::corrupt(format!(
+                    "segment: page {} short for section {} range",
+                    s.first_page + page_idx,
+                    s.id
+                )));
+            }
+            out.extend_from_slice(&payload[in_page..in_page + want]);
+            off += want as u64;
+        }
+        Ok(out)
+    }
+
+    /// Reads a whole section.
+    pub fn read_section(&self, s: &SectionInfo) -> Result<Vec<u8>, LoadError> {
+        self.read_section_range(s, 0, s.byte_len)
+    }
+
+    /// Verifies every page checksum in the file (header included) without
+    /// decoding any content — a full integrity scan.
+    pub fn verify_all(&self) -> Result<(), LoadError> {
+        let pages = 1 + self
+            .header
+            .sections
+            .iter()
+            .map(|s| s.page_count)
+            .sum::<u64>();
+        for i in 0..pages {
+            self.read_page(i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sections: &[(u32, Vec<u8>)]) -> PageFile {
+        let mut buf = Vec::new();
+        write_segment(&mut buf, SegmentKind::Network, sections).unwrap();
+        assert_eq!(buf.len() % PAGE_SIZE, 0, "whole pages only");
+        PageFile::from_bytes(buf).unwrap()
+    }
+
+    #[test]
+    fn empty_and_multi_page_sections_roundtrip() {
+        let big: Vec<u8> = (0..3 * PAGE_CAP + 17).map(|i| (i % 251) as u8).collect();
+        let pf = roundtrip(&[(1, Vec::new()), (2, b"abc".to_vec()), (3, big.clone())]);
+        assert_eq!(pf.header().kind, SegmentKind::Network);
+        let s1 = pf.header().section(1).unwrap();
+        assert_eq!(pf.read_section(&s1).unwrap(), Vec::<u8>::new());
+        let s3 = pf.header().section(3).unwrap();
+        assert_eq!(pf.read_section(&s3).unwrap(), big);
+        pf.verify_all().unwrap();
+    }
+
+    #[test]
+    fn section_range_reads_cross_page_boundaries() {
+        let data: Vec<u8> = (0..2 * PAGE_CAP + 100).map(|i| (i % 199) as u8).collect();
+        let pf = roundtrip(&[(7, data.clone())]);
+        let s = pf.header().section(7).unwrap();
+        for (start, len) in [
+            (0u64, 10u64),
+            (PAGE_CAP as u64 - 3, 7),
+            (PAGE_CAP as u64, PAGE_CAP as u64),
+            (data.len() as u64 - 5, 5),
+        ] {
+            let got = pf.read_section_range(&s, start, len).unwrap();
+            assert_eq!(got, data[start as usize..(start + len) as usize]);
+        }
+        assert!(pf.read_section_range(&s, data.len() as u64, 1).is_err());
+    }
+
+    #[test]
+    fn missing_section_is_corrupt() {
+        let pf = roundtrip(&[(1, b"x".to_vec())]);
+        assert!(matches!(pf.header().section(9), Err(LoadError::Corrupt(_))));
+    }
+
+    #[test]
+    fn any_bit_flip_is_detected() {
+        let mut buf = Vec::new();
+        write_segment(
+            &mut buf,
+            SegmentKind::TcTree,
+            &[(1, (0..500u32).flat_map(u32::to_le_bytes).collect())],
+        )
+        .unwrap();
+        // Flip one bit at a spread of positions, including padding and the
+        // checksum fields themselves.
+        let step = (buf.len() / 61).max(1);
+        for pos in (0..buf.len()).step_by(step) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            let damaged = (|| {
+                let pf = PageFile::from_bytes(bad)?;
+                let s = pf.header().section(1)?;
+                pf.read_section(&s)?;
+                Ok::<(), LoadError>(())
+            })();
+            assert!(damaged.is_err(), "flip at byte {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught_at_open() {
+        let mut buf = Vec::new();
+        write_segment(
+            &mut buf,
+            SegmentKind::Network,
+            &[(1, vec![9u8; PAGE_CAP * 2])],
+        )
+        .unwrap();
+        for cut in [0, 1, PAGE_SIZE - 1, PAGE_SIZE, buf.len() - 1] {
+            assert!(
+                PageFile::from_bytes(buf[..cut].to_vec()).is_err(),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn non_segment_bytes_report_bad_magic() {
+        let err = PageFile::from_bytes(vec![0u8; PAGE_SIZE]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        let err = PageFile::from_bytes(b"dbnet v1\n".to_vec()).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_)));
+    }
+}

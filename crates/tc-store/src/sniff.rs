@@ -1,0 +1,123 @@
+//! Format detection by magic bytes, so the CLI (and any caller) can load
+//! a file without being told which format it is.
+
+use crate::page::MAGIC;
+use std::io::Read;
+use std::path::Path;
+use tc_util::LoadError;
+
+/// What a quick look at a file's first bytes says it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectedFormat {
+    /// Binary segment, kind network (`tc-store`).
+    SegmentNetwork,
+    /// Binary segment, kind TC-Tree (`tc-store`).
+    SegmentTree,
+    /// Line-oriented text network (`tc_data::io`, `dbnet v1`).
+    TextNetwork,
+    /// Line-oriented text TC-Tree (`tc_index::serialize`, `tctree v1`).
+    TextTree,
+    /// None of the known headers.
+    Unknown,
+}
+
+/// Sniffs `path` by its leading bytes. Segment files are classified by
+/// the kind field of their (checksum-verified) header page; text files by
+/// their first-line magic. Never reads more than one page.
+pub fn detect_format(path: &Path) -> Result<DetectedFormat, LoadError> {
+    let mut head = [0u8; 16];
+    let mut f = std::fs::File::open(path)?;
+    let mut filled = 0;
+    while filled < head.len() {
+        match f.read(&mut head[filled..])? {
+            0 => break,
+            n => filled += n,
+        }
+    }
+    let head = &head[..filled];
+
+    // Segment pages put the payload (magic first) after the 8-byte page
+    // header; validate properly through the page layer.
+    if head.len() >= 8 + MAGIC.len() && head[8..8 + MAGIC.len()] == MAGIC {
+        let pages = crate::page::PageFile::open(path)?;
+        return Ok(match pages.header().kind {
+            crate::page::SegmentKind::Network => DetectedFormat::SegmentNetwork,
+            crate::page::SegmentKind::TcTree => DetectedFormat::SegmentTree,
+        });
+    }
+    if head.starts_with(b"dbnet v1") {
+        return Ok(DetectedFormat::TextNetwork);
+    }
+    if head.starts_with(b"tctree v1") {
+        return Ok(DetectedFormat::TextTree);
+    }
+    Ok(DetectedFormat::Unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::DatabaseNetworkBuilder;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tc_store_sniff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn tiny_net() -> tc_core::DatabaseNetwork {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        b.add_transaction(0, &[x]);
+        b.add_transaction(1, &[x]);
+        b.add_edge(0, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn detects_all_four_formats() {
+        let net = tiny_net();
+        let tree = tc_index::TcTreeBuilder {
+            threads: 1,
+            max_len: usize::MAX,
+        }
+        .build(&net);
+
+        let p = scratch("n.seg");
+        crate::network::save_network_segment_to_path(&net, &p).unwrap();
+        assert_eq!(detect_format(&p).unwrap(), DetectedFormat::SegmentNetwork);
+
+        let p = scratch("t.seg");
+        crate::tree::save_tree_segment_to_path(&tree, &p).unwrap();
+        assert_eq!(detect_format(&p).unwrap(), DetectedFormat::SegmentTree);
+
+        let p = scratch("n.dbnet");
+        tc_data::save_network_to_path(&net, &p).unwrap();
+        assert_eq!(detect_format(&p).unwrap(), DetectedFormat::TextNetwork);
+
+        let p = scratch("t.tct");
+        tree.save_to_path(&p).unwrap();
+        assert_eq!(detect_format(&p).unwrap(), DetectedFormat::TextTree);
+    }
+
+    #[test]
+    fn unknown_and_empty_files() {
+        let p = scratch("junk.bin");
+        std::fs::write(&p, b"hello world").unwrap();
+        assert_eq!(detect_format(&p).unwrap(), DetectedFormat::Unknown);
+        let p = scratch("empty.bin");
+        std::fs::write(&p, b"").unwrap();
+        assert_eq!(detect_format(&p).unwrap(), DetectedFormat::Unknown);
+    }
+
+    #[test]
+    fn segment_magic_with_damaged_header_is_an_error() {
+        let net = tiny_net();
+        let p = scratch("damaged.seg");
+        crate::network::save_network_segment_to_path(&net, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[40] ^= 0xFF; // inside the header payload, past the magic
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(detect_format(&p).is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! Binary segment persistence for [`TcTree`] (segment kind 2), with a
+//! **lazy** reader that serves QBA / QBP queries straight off the file.
+//!
+//! Two sections:
+//!
+//! | id | name   | stream layout |
+//! |----|--------|---------------|
+//! | 1  | NODES  | `count u64`, then per node (root first) `parent u32 · item u32 · level_count u32 · max_alpha f64 · blob_off u64 · blob_len u64` |
+//! | 2  | LEVELS | per node, at its `blob_off`: per level `alpha f64 · edge_count u32 · (u u32 · v u32) …` |
+//!
+//! [`SegmentTcTree::open`] reads only the NODES directory — parents,
+//! items, per-node `α*` bounds, and byte ranges into the LEVELS blob.
+//! That skeleton is enough to run Algorithm 5's pruning walk; the truss
+//! decompositions themselves (the bulk of the data) are materialised per
+//! node on first touch, from exactly the pages that overlap the node's
+//! byte range. A query that prunes a subtree never reads its pages.
+
+use crate::page::{write_segment, PageFile, SectionInfo, SegmentKind};
+use std::io::Write;
+use std::path::Path;
+use std::sync::OnceLock;
+use tc_core::{TrussDecomposition, TrussLevel};
+use tc_index::{QueryResult, TcNode, TcTree};
+use tc_txdb::{Item, Pattern};
+use tc_util::bytes::{put_f64, put_u32, put_u64, ByteReader};
+use tc_util::{float, LoadError, Stopwatch};
+
+const SEC_NODES: u32 = 1;
+const SEC_LEVELS: u32 = 2;
+
+fn corrupt(msg: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(format!("treeseg: {}", msg.into()))
+}
+
+/// Writes `tree` to `w` as a segment file.
+pub fn save_tree_segment<W: Write>(tree: &TcTree, w: &mut W) -> std::io::Result<()> {
+    let mut nodes = Vec::new();
+    let mut levels = Vec::new();
+    put_u64(&mut nodes, tree.nodes().len() as u64);
+    for node in tree.nodes() {
+        let blob_off = levels.len() as u64;
+        for level in &node.truss.levels {
+            put_f64(&mut levels, level.alpha);
+            put_u32(&mut levels, level.edges.len() as u32);
+            for &(u, v) in &level.edges {
+                put_u32(&mut levels, u);
+                put_u32(&mut levels, v);
+            }
+        }
+        put_u32(&mut nodes, node.parent);
+        put_u32(&mut nodes, node.item.0);
+        put_u32(&mut nodes, node.truss.levels.len() as u32);
+        put_f64(&mut nodes, node.truss.max_alpha().unwrap_or(0.0));
+        put_u64(&mut nodes, blob_off);
+        put_u64(&mut nodes, levels.len() as u64 - blob_off);
+    }
+    write_segment(
+        w,
+        SegmentKind::TcTree,
+        &[(SEC_NODES, nodes), (SEC_LEVELS, levels)],
+    )
+}
+
+/// Writes to a file path.
+pub fn save_tree_segment_to_path(tree: &TcTree, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    save_tree_segment(tree, &mut f)
+}
+
+/// The eagerly-read per-node skeleton: everything Algorithm 5 needs to
+/// walk and prune, but no truss edges.
+#[derive(Debug)]
+struct NodeSkel {
+    parent: u32,
+    item: Item,
+    pattern: Pattern,
+    children: Vec<u32>,
+    level_count: u32,
+    max_alpha: f64,
+    blob_off: u64,
+    blob_len: u64,
+}
+
+/// A TC-Tree served lazily from a segment file.
+///
+/// Opening validates the header, the file length, and the NODES directory;
+/// truss decompositions are parsed on demand (checksum-verified per page)
+/// and cached, so repeated queries touch the file once per node at most.
+#[derive(Debug)]
+pub struct SegmentTcTree {
+    pages: PageFile,
+    levels: SectionInfo,
+    skel: Vec<NodeSkel>,
+    cache: Vec<OnceLock<TrussDecomposition>>,
+}
+
+impl SegmentTcTree {
+    /// Opens a tree segment at `path`.
+    pub fn open(path: &Path) -> Result<SegmentTcTree, LoadError> {
+        Self::from_pages(PageFile::open(path)?)
+    }
+
+    /// Opens an in-memory segment image (tests, conversions).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<SegmentTcTree, LoadError> {
+        Self::from_pages(PageFile::from_bytes(bytes)?)
+    }
+
+    fn from_pages(pages: PageFile) -> Result<SegmentTcTree, LoadError> {
+        if pages.header().kind != SegmentKind::TcTree {
+            return Err(corrupt("segment holds a network, not a TC-Tree"));
+        }
+        let levels = pages.header().section(SEC_LEVELS)?;
+        let dir = pages.read_section(&pages.header().section(SEC_NODES)?)?;
+        let mut r = ByteReader::new(&dir);
+        let eof = || corrupt("NODES directory truncated");
+        let count = r.u64().ok_or_else(eof)?;
+        if count == 0 {
+            return Err(corrupt("a tree has at least the root node"));
+        }
+        // A directory record is exactly 36 bytes; a count the stream cannot
+        // hold is corrupt, and bounding it here also bounds the allocation.
+        if count > (dir.len() as u64).saturating_sub(8) / 36 {
+            return Err(corrupt("node count exceeds directory size"));
+        }
+        let mut skel: Vec<NodeSkel> = Vec::with_capacity(count as usize);
+        for id in 0..count {
+            let parent = r.u32().ok_or_else(eof)?;
+            let item = Item(r.u32().ok_or_else(eof)?);
+            let level_count = r.u32().ok_or_else(eof)?;
+            let max_alpha = r.f64().ok_or_else(eof)?;
+            let blob_off = r.u64().ok_or_else(eof)?;
+            let blob_len = r.u64().ok_or_else(eof)?;
+            if id > 0 && parent as u64 >= id {
+                return Err(corrupt("parent must precede child"));
+            }
+            if blob_off
+                .checked_add(blob_len)
+                .is_none_or(|end| end > levels.byte_len)
+            {
+                return Err(corrupt(format!("node {id} blob outside LEVELS section")));
+            }
+            if !max_alpha.is_finite() || max_alpha < 0.0 {
+                return Err(corrupt(format!("node {id} has invalid alpha bound")));
+            }
+            let pattern = if id == 0 {
+                Pattern::empty()
+            } else {
+                skel[parent as usize].pattern.with_item(item)
+            };
+            skel.push(NodeSkel {
+                parent,
+                item,
+                pattern,
+                children: Vec::new(),
+                level_count,
+                max_alpha,
+                blob_off,
+                blob_len,
+            });
+            if id > 0 {
+                skel[parent as usize].children.push(id as u32);
+            }
+        }
+        if !r.is_empty() {
+            return Err(corrupt("trailing bytes in NODES directory"));
+        }
+        let cache = (0..skel.len()).map(|_| OnceLock::new()).collect();
+        Ok(SegmentTcTree {
+            pages,
+            levels,
+            skel,
+            cache,
+        })
+    }
+
+    /// Number of nodes **excluding** the root, matching
+    /// [`TcTree::num_nodes`].
+    pub fn num_nodes(&self) -> usize {
+        self.skel.len() - 1
+    }
+
+    /// The pattern spelled by node `id`'s root path.
+    pub fn pattern(&self, id: u32) -> &Pattern {
+        &self.skel[id as usize].pattern
+    }
+
+    /// `max_p α*_p` over all nodes, from the directory alone — no truss
+    /// materialisation.
+    pub fn alpha_upper_bound(&self) -> f64 {
+        self.skel.iter().map(|n| n.max_alpha).fold(0.0, f64::max)
+    }
+
+    /// How many nodes have been materialised so far — the laziness gauge
+    /// asserted by tests and reported by the CLI.
+    pub fn materialized_nodes(&self) -> usize {
+        self.cache.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// The decomposition of node `id`, reading it from the file on first
+    /// touch.
+    pub fn truss(&self, id: u32) -> Result<&TrussDecomposition, LoadError> {
+        let slot = &self.cache[id as usize];
+        if let Some(t) = slot.get() {
+            return Ok(t);
+        }
+        let parsed = self.parse_node(id)?;
+        // A concurrent materialisation of the same node parses identical
+        // bytes, so losing the race is harmless.
+        let _ = slot.set(parsed);
+        Ok(slot.get().expect("just set"))
+    }
+
+    fn parse_node(&self, id: u32) -> Result<TrussDecomposition, LoadError> {
+        let n = &self.skel[id as usize];
+        let blob = self
+            .pages
+            .read_section_range(&self.levels, n.blob_off, n.blob_len)?;
+        let mut r = ByteReader::new(&blob);
+        let eof = || corrupt(format!("node {id} levels truncated"));
+        // Cap pre-allocations by the bytes actually present (a level is at
+        // least 12 bytes, an edge exactly 8): crafted counts must hit EOF
+        // below, not abort on a huge reservation.
+        let mut levels = Vec::with_capacity((n.level_count as usize).min(blob.len() / 12));
+        let mut prev_alpha = f64::NEG_INFINITY;
+        for _ in 0..n.level_count {
+            let alpha = r.f64().ok_or_else(eof)?;
+            if !alpha.is_finite() || alpha <= prev_alpha {
+                return Err(corrupt(format!("node {id} level alphas must ascend")));
+            }
+            prev_alpha = alpha;
+            let m = r.u32().ok_or_else(eof)?;
+            let mut edges = Vec::with_capacity((m as usize).min(r.remaining() / 8));
+            for _ in 0..m {
+                let u = r.u32().ok_or_else(eof)?;
+                let v = r.u32().ok_or_else(eof)?;
+                if u >= v {
+                    return Err(corrupt(format!("node {id} edge not canonical (u < v)")));
+                }
+                edges.push((u, v));
+            }
+            levels.push(TrussLevel { alpha, edges });
+        }
+        if !r.is_empty() {
+            return Err(corrupt(format!("node {id} has trailing level bytes")));
+        }
+        if levels.last().map(|l| l.alpha).unwrap_or(0.0) != n.max_alpha {
+            return Err(corrupt(format!(
+                "node {id} alpha bound disagrees with levels"
+            )));
+        }
+        Ok(TrussDecomposition {
+            pattern: n.pattern.clone(),
+            levels,
+        })
+    }
+
+    /// Algorithm 5 over the segment: answers `(q, α_q)` materialising only
+    /// the nodes the pruned walk actually retrieves.
+    pub fn query(&self, q: &Pattern, alpha_q: f64) -> Result<QueryResult, LoadError> {
+        let sw = Stopwatch::start();
+        let mut trusses = Vec::new();
+        let mut visited = 0usize;
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        while let Some(nf) = queue.pop_front() {
+            for &nc in &self.skel[nf as usize].children {
+                let node = &self.skel[nc as usize];
+                visited += 1;
+                // Prune subtrees branching on items outside q.
+                if !q.contains(node.item) {
+                    continue;
+                }
+                // Prune by the directory's α* bound before touching the
+                // file: C*_p(α) = ∅ for α ≥ α*_p (Proposition 5.2 again).
+                if !float::gt_eps(node.max_alpha, alpha_q) {
+                    continue;
+                }
+                let truss = self.truss(nc)?.truss_at(alpha_q);
+                if truss.is_empty() {
+                    continue;
+                }
+                trusses.push(truss);
+                queue.push_back(nc);
+            }
+        }
+        Ok(QueryResult {
+            query: q.clone(),
+            alpha: alpha_q,
+            retrieved_nodes: trusses.len(),
+            visited_nodes: visited,
+            trusses,
+            elapsed_secs: sw.elapsed_secs(),
+        })
+    }
+
+    /// Query-by-alpha (QBA): `q = S`, only `α_q` filters.
+    pub fn query_by_alpha(&self, alpha_q: f64) -> Result<QueryResult, LoadError> {
+        let all_items: Pattern = self.skel[0]
+            .children
+            .iter()
+            .map(|&c| self.skel[c as usize].item)
+            .collect();
+        self.query(&all_items, alpha_q)
+    }
+
+    /// Query-by-pattern (QBP): `α_q = 0`.
+    pub fn query_by_pattern(&self, q: &Pattern) -> Result<QueryResult, LoadError> {
+        self.query(q, 0.0)
+    }
+
+    /// Materialises every node into an in-memory [`TcTree`] (the eager
+    /// conversion path).
+    pub fn to_tree(&self) -> Result<TcTree, LoadError> {
+        let mut nodes = Vec::with_capacity(self.skel.len());
+        for id in 0..self.skel.len() as u32 {
+            let n = &self.skel[id as usize];
+            nodes.push(TcNode {
+                item: n.item,
+                pattern: n.pattern.clone(),
+                parent: n.parent,
+                children: n.children.clone(),
+                truss: self.truss(id)?.clone(),
+            });
+        }
+        Ok(TcTree::from_nodes(nodes))
+    }
+}
+
+/// Reads a tree segment fully into memory.
+pub fn load_tree_segment_from_path(path: &Path) -> Result<TcTree, LoadError> {
+    SegmentTcTree::open(path)?.to_tree()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::DatabaseNetworkBuilder;
+    use tc_index::TcTreeBuilder;
+
+    fn sample_tree() -> TcTree {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        let y = b.intern_item("y");
+        let z = b.intern_item("z");
+        for v in 0..4u32 {
+            for _ in 0..3 {
+                b.add_transaction(v, &[x, y]);
+            }
+            b.add_transaction(v, &[x, z]);
+        }
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        TcTreeBuilder::default().build(&b.build().unwrap())
+    }
+
+    fn segment_bytes(tree: &TcTree) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_tree_segment(tree, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn full_materialisation_equals_source() {
+        let tree = sample_tree();
+        let seg = SegmentTcTree::from_bytes(segment_bytes(&tree)).unwrap();
+        let loaded = seg.to_tree().unwrap();
+        assert_eq!(loaded.num_nodes(), tree.num_nodes());
+        for (a, b) in tree.nodes().iter().zip(loaded.nodes()) {
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.truss.levels, b.truss.levels);
+        }
+    }
+
+    #[test]
+    fn queries_agree_with_in_memory_tree() {
+        let tree = sample_tree();
+        let seg = SegmentTcTree::from_bytes(segment_bytes(&tree)).unwrap();
+        for alpha in [0.0, 0.25, 0.5, 1.0] {
+            let a = tree.query_by_alpha(alpha);
+            let b = seg.query_by_alpha(alpha).unwrap();
+            assert_eq!(a.retrieved_nodes, b.retrieved_nodes, "α = {alpha}");
+            let mut got: Vec<_> = b
+                .trusses
+                .iter()
+                .map(|t| (t.pattern.clone(), t.edges.clone()))
+                .collect();
+            got.sort();
+            let mut want: Vec<_> = a
+                .trusses
+                .iter()
+                .map(|t| (t.pattern.clone(), t.edges.clone()))
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "α = {alpha}");
+        }
+        for id in 1..tree.nodes().len() as u32 {
+            let q = tree.node(id).pattern.clone();
+            let a = tree.query_by_pattern(&q);
+            let b = seg.query_by_pattern(&q).unwrap();
+            assert_eq!(a.retrieved_nodes, b.retrieved_nodes, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn open_is_lazy_and_queries_materialize_on_demand() {
+        let tree = sample_tree();
+        let seg = SegmentTcTree::from_bytes(segment_bytes(&tree)).unwrap();
+        assert_eq!(seg.materialized_nodes(), 0, "open must not parse trusses");
+        assert!(
+            seg.alpha_upper_bound() > 0.0,
+            "bound comes from the directory"
+        );
+
+        // A singleton QBP touches only the nodes on that item's path.
+        let item = tree.node(tree.node(0).children[0]).item;
+        let r = seg.query_by_pattern(&Pattern::singleton(item)).unwrap();
+        assert!(r.retrieved_nodes >= 1);
+        assert!(
+            seg.materialized_nodes() < seg.num_nodes(),
+            "QBP on one item must not materialise the whole tree ({} of {})",
+            seg.materialized_nodes(),
+            seg.num_nodes()
+        );
+
+        // An α above the bound retrieves nothing and reads nothing.
+        let before = seg.materialized_nodes();
+        let r = seg.query_by_alpha(seg.alpha_upper_bound() + 1.0).unwrap();
+        assert_eq!(r.retrieved_nodes, 0);
+        assert_eq!(
+            seg.materialized_nodes(),
+            before,
+            "pruned walk reads no pages"
+        );
+    }
+
+    #[test]
+    fn resave_is_byte_identical() {
+        let tree = sample_tree();
+        let first = segment_bytes(&tree);
+        let loaded = SegmentTcTree::from_bytes(first.clone())
+            .unwrap()
+            .to_tree()
+            .unwrap();
+        let second = segment_bytes(&loaded);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let tree = sample_tree();
+        let dir = std::env::temp_dir().join("tc_store_tree_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.seg");
+        save_tree_segment_to_path(&tree, &path).unwrap();
+        let seg = SegmentTcTree::open(&path).unwrap();
+        assert_eq!(seg.num_nodes(), tree.num_nodes());
+        let loaded = load_tree_segment_from_path(&path).unwrap();
+        assert_eq!(loaded.num_nodes(), tree.num_nodes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crafted_counts_error_without_huge_allocations() {
+        use crate::page::write_segment;
+        use tc_util::bytes::{put_f64, put_u32, put_u64};
+
+        // A directory claiming u64::MAX nodes must be rejected up front.
+        let mut nodes = Vec::new();
+        put_u64(&mut nodes, u64::MAX);
+        let mut buf = Vec::new();
+        write_segment(
+            &mut buf,
+            SegmentKind::TcTree,
+            &[(1, nodes), (2, Vec::new())],
+        )
+        .unwrap();
+        let err = SegmentTcTree::from_bytes(buf).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+
+        // Valid checksums, but a node blob claiming u32::MAX levels and
+        // edges: materialisation must report corruption, not abort trying
+        // to reserve gigabytes.
+        let mut blob = Vec::new();
+        put_f64(&mut blob, 0.5);
+        put_u32(&mut blob, u32::MAX);
+        let mut nodes = Vec::new();
+        put_u64(&mut nodes, 2);
+        for (parent, item, level_count, max_alpha, off, len) in [
+            (0u32, 0u32, 0u32, 0.0f64, 0u64, 0u64),
+            (0, 7, u32::MAX, 0.5, 0, blob.len() as u64),
+        ] {
+            put_u32(&mut nodes, parent);
+            put_u32(&mut nodes, item);
+            put_u32(&mut nodes, level_count);
+            put_f64(&mut nodes, max_alpha);
+            put_u64(&mut nodes, off);
+            put_u64(&mut nodes, len);
+        }
+        let mut buf = Vec::new();
+        write_segment(&mut buf, SegmentKind::TcTree, &[(1, nodes), (2, blob)]).unwrap();
+        let seg = SegmentTcTree::from_bytes(buf).unwrap();
+        let err = seg.truss(1).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn network_segment_is_rejected_as_tree() {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        b.add_transaction(0, &[x]);
+        b.add_edge(0, 1);
+        let net = b.build().unwrap();
+        let mut buf = Vec::new();
+        crate::network::save_network_segment(&net, &mut buf).unwrap();
+        let err = SegmentTcTree::from_bytes(buf).unwrap_err();
+        assert!(err.to_string().contains("network"), "{err}");
+    }
+}

@@ -1,0 +1,174 @@
+//! The corruption guard: damaged files must fail with `Corrupt`/`Checksum`
+//! errors — never a panic, never silently wrong data.
+//!
+//! CI runs this suite as an explicit gate (see `.github/workflows/ci.yml`,
+//! the corruption-guard step); locally it runs with `cargo test`.
+//!
+//! Segment files carry per-page CRC-32, so **every** bit flip and
+//! truncation must be detected. The text formats have no checksums — a
+//! flip inside free-form content (an item name, a digit) can legitimately
+//! produce a different valid file — so for them the guarantee tested is
+//! weaker: loaders never panic, and structural damage is reported.
+
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
+use tc_index::{TcTree, TcTreeBuilder};
+use tc_store::{LoadError, SegmentTcTree};
+
+fn sample_network() -> DatabaseNetwork {
+    let mut b = DatabaseNetworkBuilder::new();
+    let items: Vec<_> = (0..6)
+        .map(|i| b.intern_item(&format!("item-{i}")))
+        .collect();
+    for v in 0..8u32 {
+        for t in 0..4usize {
+            let a = items[(v as usize + t) % items.len()];
+            let c = items[(v as usize + t + 1) % items.len()];
+            b.add_transaction(v, &[a, c]);
+        }
+    }
+    for u in 0..8u32 {
+        for v in (u + 1)..8u32 {
+            if (u + v) % 3 != 0 {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn sample_tree() -> TcTree {
+    TcTreeBuilder {
+        threads: 1,
+        max_len: usize::MAX,
+    }
+    .build(&sample_network())
+}
+
+fn network_segment_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    tc_store::save_network_segment(&sample_network(), &mut buf).unwrap();
+    buf
+}
+
+fn tree_segment_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    tc_store::save_tree_segment(&sample_tree(), &mut buf).unwrap();
+    buf
+}
+
+/// Exercises a damaged tree segment end to end: open, then (if the damage
+/// sat in a lazily-read region) a full-materialisation query.
+fn load_damaged_tree(bytes: Vec<u8>) -> Result<(), LoadError> {
+    let seg = SegmentTcTree::from_bytes(bytes)?;
+    seg.query_by_alpha(0.0)?;
+    seg.to_tree()?;
+    Ok(())
+}
+
+#[test]
+fn network_segment_detects_every_bit_flip() {
+    let clean = network_segment_bytes();
+    assert!(tc_store::load_network_segment_from_bytes(&clean).is_ok());
+    let step = (clean.len() / 211).max(1);
+    for pos in (0..clean.len()).step_by(step) {
+        for bit in [0, 4, 7] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << bit;
+            let err = tc_store::load_network_segment_from_bytes(&bad);
+            assert!(
+                matches!(err, Err(e) if e.is_corruption()),
+                "flip at {pos}:{bit} not reported as corruption"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_segment_detects_every_bit_flip() {
+    let clean = tree_segment_bytes();
+    load_damaged_tree(clean.clone()).unwrap();
+    let step = (clean.len() / 211).max(1);
+    for pos in (0..clean.len()).step_by(step) {
+        let mut bad = clean.clone();
+        bad[pos] ^= 0x20;
+        let err = load_damaged_tree(bad);
+        assert!(
+            matches!(err, Err(e) if e.is_corruption()),
+            "flip at byte {pos} not reported as corruption"
+        );
+    }
+}
+
+#[test]
+fn segment_truncations_fail_at_open() {
+    for bytes in [network_segment_bytes(), tree_segment_bytes()] {
+        for cut in [
+            0,
+            1,
+            7,
+            tc_store::PAGE_SIZE - 1,
+            tc_store::PAGE_SIZE,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            let truncated = bytes[..cut.min(bytes.len())].to_vec();
+            let net_err = tc_store::load_network_segment_from_bytes(&truncated);
+            assert!(
+                matches!(net_err, Err(e) if e.is_corruption()),
+                "network truncation to {cut} bytes accepted"
+            );
+            let tree_err = load_damaged_tree(truncated);
+            assert!(
+                matches!(tree_err, Err(e) if e.is_corruption()),
+                "tree truncation to {cut} bytes accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn segment_extension_fails_at_open() {
+    // Appended garbage breaks the header's length promise.
+    let mut bytes = tree_segment_bytes();
+    bytes.extend_from_slice(&[0u8; 100]);
+    assert!(matches!(
+        SegmentTcTree::from_bytes(bytes),
+        Err(e) if e.is_corruption()
+    ));
+}
+
+#[test]
+fn text_network_damage_never_panics() {
+    let mut clean = Vec::new();
+    tc_data::save_network(&sample_network(), &mut clean).unwrap();
+    // Truncations anywhere before the trailing "end" must error.
+    for cut in [0, 1, clean.len() / 3, clean.len() / 2, clean.len() - 5] {
+        let r = tc_data::load_network(std::io::Cursor::new(&clean[..cut]));
+        assert!(r.is_err(), "network text truncated to {cut} bytes accepted");
+    }
+    // Bit flips: the format is unchecksummed free-form text, so some flips
+    // remain valid — the guard is "no panic, and a definite answer".
+    let step = (clean.len() / 173).max(1);
+    for pos in (0..clean.len()).step_by(step) {
+        let mut bad = clean.clone();
+        bad[pos] ^= 0x02;
+        let _ = tc_data::load_network(std::io::Cursor::new(&bad[..]));
+    }
+}
+
+#[test]
+fn text_tree_damage_never_panics() {
+    let tree = sample_tree();
+    let mut clean = Vec::new();
+    tree.save(&mut clean).unwrap();
+    for cut in [0, 1, clean.len() / 3, clean.len() / 2, clean.len() - 5] {
+        let r = TcTree::load(std::io::Cursor::new(&clean[..cut]));
+        assert!(r.is_err(), "tree text truncated to {cut} bytes accepted");
+    }
+    let step = (clean.len() / 173).max(1);
+    for pos in (0..clean.len()).step_by(step) {
+        let mut bad = clean.clone();
+        bad[pos] ^= 0x02;
+        let _ = TcTree::load(std::io::Cursor::new(&bad[..]));
+    }
+}

@@ -1,0 +1,123 @@
+//! Little-endian byte-layout helpers for the binary segment format.
+//!
+//! The writers append to a `Vec<u8>`; the reader is a bounds-checked
+//! cursor whose accessors return `None` on overrun so callers can map
+//! truncation to their own corruption error instead of panicking.
+
+/// Appends `v` in little-endian order.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends the IEEE-754 bit pattern of `v` in little-endian order —
+/// exact round trips, no decimal detour.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// A bounds-checked forward-only cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes, or `None` past the end.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an `f64` stored as its little-endian bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        put_f64(&mut buf, -0.125);
+        put_f64(&mut buf, f64::MIN_POSITIVE);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u16(), Some(0xBEEF));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(r.f64(), Some(-0.125));
+        assert_eq!(r.f64(), Some(f64::MIN_POSITIVE));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overrun_returns_none_and_preserves_position() {
+        let buf = [1u8, 2, 3];
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u16(), Some(0x0201));
+        assert_eq!(r.u32(), None, "only one byte left");
+        assert_eq!(r.remaining(), 1, "failed read must not consume");
+        assert_eq!(r.take(1), Some(&[3u8][..]));
+        assert_eq!(r.take(1), None);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0x0A0B_0C0D);
+        assert_eq!(buf, [0x0D, 0x0C, 0x0B, 0x0A]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The shared load-error type for every persistence format in the
+//! workspace.
+//!
+//! `tc-data` (text networks), `tc-index` (text TC-Trees), and `tc-store`
+//! (binary segments) all used to carry their own structurally identical
+//! error enums; they now re-export this one, so callers can hold a single
+//! error type across format boundaries (e.g. the CLI's auto-detecting
+//! loaders).
+
+/// Errors raised while reading a persisted network or TC-Tree.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content, with a human-readable reason.
+    Corrupt(String),
+    /// A stored checksum did not match the data read back — the bytes were
+    /// damaged after writing (bit rot, truncation mid-page, torn write).
+    Checksum(String),
+}
+
+impl LoadError {
+    /// Shorthand constructor for [`LoadError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> LoadError {
+        LoadError::Corrupt(msg.into())
+    }
+
+    /// Shorthand constructor for [`LoadError::Checksum`].
+    pub fn checksum(msg: impl Into<String>) -> LoadError {
+        LoadError::Checksum(msg.into())
+    }
+
+    /// `true` for the data-damage variants ([`LoadError::Corrupt`] and
+    /// [`LoadError::Checksum`]), as opposed to environmental I/O failures.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, LoadError::Corrupt(_) | LoadError::Checksum(_))
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Corrupt(m) => write!(f, "corrupt file: {m}"),
+            LoadError::Checksum(m) => write!(f, "checksum mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LoadError::corrupt("bad header")
+            .to_string()
+            .contains("bad header"));
+        assert!(LoadError::checksum("page 3").to_string().contains("page 3"));
+        let io = LoadError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(LoadError::corrupt("x").is_corruption());
+        assert!(LoadError::checksum("x").is_corruption());
+        assert!(!LoadError::from(std::io::Error::other("x")).is_corruption());
+    }
+}

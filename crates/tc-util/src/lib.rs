@@ -9,6 +9,12 @@
 //! * [`bitset`] — a fixed-capacity bitset with popcount-based intersection,
 //!   the backbone of the *vertical* transaction representation used to
 //!   compute pattern frequencies.
+//! * [`bytes`] — little-endian encode helpers and a bounds-checked cursor,
+//!   the byte-layout substrate of the `tc-store` segment format.
+//! * [`crc32`] — table-driven CRC-32 (IEEE polynomial), the per-page
+//!   integrity checksum of the segment format.
+//! * [`error`] — the [`LoadError`] shared by every persistence format
+//!   (text networks, text trees, binary segments).
 //! * [`float`] — helpers for working with cohesion values: a total-ordered
 //!   wrapper and an epsilon used to keep peeling decisions stable under
 //!   floating-point noise.
@@ -18,12 +24,18 @@
 //!   the benchmark harness.
 
 pub mod bitset;
+pub mod bytes;
+pub mod crc32;
+pub mod error;
 pub mod float;
 pub mod hash;
 pub mod heapsize;
 pub mod timer;
 
 pub use bitset::BitSet;
+pub use bytes::ByteReader;
+pub use crc32::{crc32, Crc32};
+pub use error::LoadError;
 pub use float::{approx_eq, OrdF64, COHESION_EPS};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use heapsize::HeapSize;

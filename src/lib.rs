@@ -15,8 +15,9 @@
 //! | [`txdb`]  | transaction databases, patterns, vertical (tidset) mining, Apriori joins |
 //! | [`core`]  | database networks, theme networks, edge cohesion, MPTD, TCS / TCFA / TCFI miners, truss decomposition |
 //! | [`index`] | the TC-Tree index and its query algorithms (QBA / QBP) |
-//! | [`data`]  | dataset generators (check-in, co-author, synthetic, planted) and I/O |
-//! | [`util`]  | hashing, bitsets, float ordering, heap accounting |
+//! | [`data`]  | dataset generators (check-in, co-author, synthetic, planted) and text I/O |
+//! | [`store`] | the disk-backed binary segment format and lazy TC-Tree reader |
+//! | [`util`]  | hashing, bitsets, float ordering, heap accounting, CRC-32 |
 //!
 //! ## Quickstart
 //!
@@ -46,5 +47,6 @@ pub use tc_core as core;
 pub use tc_data as data;
 pub use tc_graph as graph;
 pub use tc_index as index;
+pub use tc_store as store;
 pub use tc_txdb as txdb;
 pub use tc_util as util;
