@@ -24,6 +24,7 @@ use tc_util::Stopwatch;
 
 fn main() {
     let args = BenchArgs::from_env();
+    args.warn_unused_threads();
     let runs = if args.quick { 20 } else { 200 };
     let mut json = JsonReport::new("storage");
 

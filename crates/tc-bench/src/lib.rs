@@ -2,7 +2,9 @@
 //! tables and figures on the generated dataset analogs.
 //!
 //! * [`alloc`] — counting global allocator (Table 3's "Memory" column);
-//! * [`report`] — markdown table/series printers;
+//! * [`report`] — markdown table/series printers and the `tc-bench/v1`
+//!   JSON telemetry report (write + parse);
+//! * [`jsonin`] — the minimal JSON reader behind `bench_compare`;
 //! * [`workloads`] — the four standard datasets (BK/GW/AMINER/SYN analogs)
 //!   at a configurable `--scale`, plus shared CLI argument parsing.
 //!
@@ -18,10 +20,13 @@
 //! | `case_study` | §7.4 / Table 4 / Figure 6 (co-author case study) |
 //! | `accuracy` | extra: planted-community precision/recall |
 //! | `ablation_pruning` | extra: §7.1 MPTD-call-count ablation |
-//! | `storage_bench` | extra: text-load vs `tc-store` segment-open query latency (the CI `BENCH_pr.json` telemetry source) |
+//! | `storage_bench` | extra: text-load vs `tc-store` segment-open query latency (CI telemetry source) |
+//! | `throughput_bench` | extra: parallel mining/indexing grid + sustained-load serving baseline (CI telemetry source) |
+//! | `bench_compare` | the CI bench-telemetry gate: merges reports, compares against `BENCH_main.json` |
 //! | `run_all` | drives every experiment in sequence |
 
 pub mod alloc;
+pub mod jsonin;
 pub mod report;
 pub mod workloads;
 

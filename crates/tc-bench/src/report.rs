@@ -166,6 +166,56 @@ impl JsonReport {
     pub fn write_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.render())
     }
+
+    /// The benchmark name this report was recorded under.
+    pub fn bench(&self) -> &str {
+        &self.bench
+    }
+
+    /// The recorded datapoints as `(group, metric, value)` rows.
+    pub fn metrics(&self) -> &[(String, String, f64)] {
+        &self.metrics
+    }
+
+    /// Parses a rendered `tc-bench/v1` report (the inverse of
+    /// [`JsonReport::render`]); `null` values come back as NaN.
+    pub fn parse(text: &str) -> Result<JsonReport, String> {
+        let doc = crate::jsonin::parse(text)?;
+        match doc.get("schema").and_then(crate::jsonin::JsonValue::as_str) {
+            Some("tc-bench/v1") => {}
+            other => return Err(format!("unsupported schema {other:?}")),
+        }
+        let bench = doc
+            .get("bench")
+            .and_then(crate::jsonin::JsonValue::as_str)
+            .ok_or("missing 'bench' field")?
+            .to_string();
+        let rows = doc
+            .get("metrics")
+            .and_then(crate::jsonin::JsonValue::as_arr)
+            .ok_or("missing 'metrics' array")?;
+        let mut metrics = Vec::with_capacity(rows.len());
+        for row in rows {
+            let field = |key: &str| {
+                row.get(key)
+                    .and_then(crate::jsonin::JsonValue::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("metric row missing '{key}'"))
+            };
+            let value = row
+                .get("value")
+                .and_then(crate::jsonin::JsonValue::as_num)
+                .ok_or("metric row missing numeric 'value'")?;
+            metrics.push((field("group")?, field("metric")?, value));
+        }
+        Ok(JsonReport { bench, metrics })
+    }
+
+    /// Loads and parses a report file.
+    pub fn load_from_path(path: &std::path::Path) -> Result<JsonReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
 }
 
 /// Formats seconds with adaptive precision (`1.23 s`, `45.6 ms`, `789 µs`).

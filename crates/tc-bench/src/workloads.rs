@@ -128,6 +128,9 @@ pub struct BenchArgs {
     /// Where to write the machine-readable telemetry report
     /// (`--json <path>`), for binaries that support it.
     pub json: Option<std::path::PathBuf>,
+    /// Worker-thread counts (`--threads 1,2,8`): a grid for the
+    /// throughput binaries, a single count for the builders.
+    pub threads: Option<Vec<usize>>,
 }
 
 impl Default for BenchArgs {
@@ -137,6 +140,7 @@ impl Default for BenchArgs {
             quick: false,
             only: None,
             json: None,
+            threads: None,
         }
     }
 }
@@ -164,6 +168,19 @@ impl BenchArgs {
                     let v = it.next().unwrap_or_else(|| usage("--json needs a path"));
                     out.json = Some(std::path::PathBuf::from(v));
                 }
+                "--threads" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    let parsed: Result<Vec<usize>, _> =
+                        v.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                    match parsed {
+                        Ok(list) if !list.is_empty() && list.iter().all(|&t| t > 0) => {
+                            out.threads = Some(list);
+                        }
+                        _ => usage("bad --threads value (expect e.g. 1,2,8)"),
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -184,14 +201,30 @@ impl BenchArgs {
         }
     }
 
+    /// The `--threads` grid, or `default` when the flag was not given.
+    pub fn thread_grid(&self, default: &[usize]) -> Vec<usize> {
+        self.threads.clone().unwrap_or_else(|| default.to_vec())
+    }
+
     /// Called by binaries that do not emit telemetry: warns when the user
     /// passed `--json` so the flag is never silently dropped.
     pub fn warn_unused_json(&self) {
         if let Some(path) = &self.json {
             eprintln!(
                 "warning: this binary does not emit telemetry; --json {} is ignored \
-                 (use the storage_bench binary)",
+                 (use storage_bench or throughput_bench)",
                 path.display()
+            );
+        }
+    }
+
+    /// Called by binaries that run single-threaded: warns when the user
+    /// passed `--threads` so the flag is never silently dropped.
+    pub fn warn_unused_threads(&self) {
+        if let Some(threads) = &self.threads {
+            eprintln!(
+                "warning: this binary does not take a thread grid; --threads {threads:?} \
+                 is ignored (use throughput_bench)"
             );
         }
     }
@@ -202,8 +235,9 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--scale <f64>] [--quick] [--dataset bk|gw|aminer|syn] [--json <path>]\n\
-         (--json is consumed by telemetry-emitting binaries, currently storage_bench)"
+        "usage: <bin> [--scale <f64>] [--quick] [--dataset bk|gw|aminer|syn] [--json <path>] [--threads 1,2,8]\n\
+         (--json is consumed by telemetry-emitting binaries: storage_bench, throughput_bench;\n\
+          --threads sets the worker grid of throughput_bench)"
     );
     std::process::exit(2);
 }
@@ -232,6 +266,8 @@ mod tests {
                 "bk",
                 "--json",
                 "out.json",
+                "--threads",
+                "1,2,8",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -241,6 +277,9 @@ mod tests {
         assert_eq!(a.only, Some(Dataset::Bk));
         assert_eq!(a.datasets(), vec![Dataset::Bk]);
         assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(a.threads, Some(vec![1, 2, 8]));
+        assert_eq!(a.thread_grid(&[4]), vec![1, 2, 8]);
+        assert_eq!(BenchArgs::default().thread_grid(&[4]), vec![4]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `--format` flag (`auto` follows the `.seg` extension).
 
 use std::path::Path;
-use tc_core::{DatabaseNetwork, Miner, TcfaMiner, TcfiMiner, TcsMiner};
+use tc_core::{DatabaseNetwork, Miner, ParallelTcfiMiner, TcfaMiner, TcfiMiner, TcsMiner};
 use tc_index::{TcTree, TcTreeBuilder};
 use tc_store::{DetectedFormat, SegmentTcTree};
 use tc_txdb::Pattern;
@@ -199,7 +199,7 @@ pub fn stats(args: &[String]) -> i32 {
     0
 }
 
-/// `tc mine <net.dbnet> --alpha F [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]`
+/// `tc mine <net.dbnet> --alpha F [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]`
 pub fn mine(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
         Ok(f) => f,
@@ -220,15 +220,27 @@ pub fn mine(args: &[String]) -> i32 {
         Ok(t) => t,
         Err(e) => return fail(e),
     };
+    let threads = match flags.get_usize("threads", 1) {
+        Ok(t) => t.max(1),
+        Err(e) => return fail(e),
+    };
     let net = match load_net(path) {
         Ok(n) => n,
         Err(e) => return fail(e),
     };
-    let miner: Box<dyn Miner> = match flags.get("miner").unwrap_or("tcfi") {
-        "tcfi" => Box::new(TcfiMiner::default()),
-        "tcfa" => Box::new(TcfaMiner::default()),
-        "tcs" => Box::new(TcsMiner::with_epsilon(epsilon)),
-        other => return fail(format!("unknown miner '{other}'")),
+    let miner_name = flags.get("miner").unwrap_or("tcfi");
+    if threads > 1 && miner_name != "tcfi" {
+        eprintln!("warning: --threads applies to the tcfi miner only; mining single-threaded");
+    }
+    let miner: Box<dyn Miner> = match (miner_name, threads) {
+        ("tcfi", 1) => Box::new(TcfiMiner::default()),
+        ("tcfi", t) => Box::new(ParallelTcfiMiner {
+            max_len: usize::MAX,
+            threads: t,
+        }),
+        ("tcfa", _) => Box::new(TcfaMiner::default()),
+        ("tcs", _) => Box::new(TcsMiner::with_epsilon(epsilon)),
+        (other, _) => return fail(format!("unknown miner '{other}'")),
     };
 
     let result = miner.mine(&net, alpha);

@@ -3,7 +3,7 @@
 //! ```text
 //! tc generate --kind checkin|coauthor|syn|planted --out net.dbnet [--scale F] [--seed N]
 //! tc stats   <net>
-//! tc mine    <net> --alpha F [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
+//! tc mine    <net> --alpha F [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]
 //! tc index   <net> --out tree.tct|tree.seg [--threads N] [--format auto|text|seg]
 //! tc query   <tree> [--alpha F] [--pattern i1,i2,…] [--network net]
 //! tc convert <in> <out> [--to auto|text|seg]
@@ -43,14 +43,16 @@ fn print_usage() {
 USAGE:
   tc generate --kind <checkin|coauthor|syn|planted> --out <net> [--scale F] [--seed N] [--format auto|text|seg]
   tc stats    <net>
-  tc mine     <net> --alpha <F> [--miner tcfi|tcfa|tcs] [--epsilon F] [--top N]
+  tc mine     <net> --alpha <F> [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]
   tc index    <net> --out <tree.tct|tree.seg> [--threads N] [--format auto|text|seg]
   tc query    <tree> [--alpha F] [--pattern items] [--network net]
   tc convert  <in> <out> [--to auto|text|seg]
 
 Readers auto-detect the text formats (dbnet/tctree) and the binary
 segment format (.seg) by magic bytes; --format auto writes a segment
-when the output path ends in .seg.
+when the output path ends in .seg. --threads > 1 mines with the
+work-stealing TCFI variant and builds the index with parallel layer
+fan-out; results are identical at every thread count.
 
 EXAMPLES:
   tc generate --kind coauthor --out aminer.dbnet

@@ -174,6 +174,68 @@ fn segment_format_round_trip() {
 }
 
 #[test]
+fn thread_matrix_is_deterministic() {
+    // The CI thread-matrix step asserts the same invariant on the release
+    // binary: the mined pattern set and the built index must be
+    // byte-identical at every `--threads` count.
+    let scratch = Scratch::new("threads");
+    let net = scratch.path("net.dbnet");
+    let out = tc(&[
+        "generate", "--kind", "planted", "--out", &net, "--seed", "7",
+    ]);
+    assert_success(&out, "tc generate");
+
+    // Mined community listings (the indented lines; the summary line
+    // carries wall-clock noise) must agree across thread counts.
+    let communities = |threads: &str| {
+        let out = tc(&[
+            "mine",
+            &net,
+            "--alpha",
+            "0.1",
+            "--top",
+            "100",
+            "--threads",
+            threads,
+        ]);
+        assert_success(&out, "tc mine --threads");
+        stdout(&out)
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let reference = communities("1");
+    assert!(
+        !reference.is_empty(),
+        "planted network must yield communities"
+    );
+    for threads in ["2", "8"] {
+        assert_eq!(
+            reference,
+            communities(threads),
+            "mined pattern set differs at --threads {threads}"
+        );
+    }
+
+    // Index files must be byte-identical across thread counts.
+    let reference_tree = scratch.path("t1.tct");
+    let out = tc(&["index", &net, "--out", &reference_tree, "--threads", "1"]);
+    assert_success(&out, "tc index --threads 1");
+    let reference_bytes = std::fs::read(&reference_tree).expect("read tree");
+    for threads in ["2", "8"] {
+        let tree = scratch.path(&format!("t{threads}.tct"));
+        let out = tc(&["index", &net, "--out", &tree, "--threads", threads]);
+        assert_success(&out, "tc index --threads");
+        assert_eq!(
+            reference_bytes,
+            std::fs::read(&tree).expect("read tree"),
+            "index bytes differ at --threads {threads}"
+        );
+    }
+}
+
+#[test]
 fn help_and_error_paths() {
     // --help prints usage and succeeds.
     let out = tc(&["--help"]);

@@ -16,7 +16,9 @@ use crate::result::{MinerStats, MiningResult};
 use crate::tcfa::mine_level_one;
 use crate::theme::ThemeNetwork;
 use crate::truss::PatternTruss;
-use tc_txdb::{apriori, Pattern};
+use std::sync::Arc;
+use tc_txdb::{apriori, Item, Pattern};
+use tc_util::steal::{Executor, Worker};
 use tc_util::{FxHashMap, Stopwatch};
 
 /// The intersection-pruned miner.
@@ -35,10 +37,11 @@ impl Default for TcfiMiner {
 }
 
 impl TcfiMiner {
-    /// A parallel variant of this miner: within each level, candidates are
-    /// independent (they only read the previous level's trusses), so they
-    /// can be processed concurrently — the same observation Algorithm 4
-    /// exploits for the TC-Tree's first layer.
+    /// The work-stealing parallel variant of this miner: candidates are
+    /// independent once both of their join parents' trusses are known, so
+    /// they can be processed concurrently — and, unlike the per-level pool
+    /// of [`LevelBarrierTcfiMiner`], without waiting for the rest of the
+    /// level to finish.
     pub fn parallel(self, threads: usize) -> ParallelTcfiMiner {
         ParallelTcfiMiner {
             max_len: self.max_len,
@@ -101,16 +104,35 @@ impl Miner for TcfiMiner {
     }
 }
 
-/// TCFI with parallel candidate processing inside each level.
+/// TCFI on the shared work-stealing executor ([`tc_util::steal`]), with no
+/// barrier between Apriori levels.
 ///
-/// Produces exactly the same [`MiningResult`] trusses as [`TcfiMiner`] (the
-/// level barrier keeps the Apriori frontier identical); only wall-clock and
-/// scheduling differ. Counters are accumulated atomically.
+/// Every task is either a level-1 seed (one item) or a join candidate
+/// carrying its two parents' trusses. The moment a pattern qualifies, it is
+/// joined against the already-qualified patterns sharing its Apriori prefix
+/// and the resulting candidates are spawned immediately — a worker can be
+/// mining level `k+1` in one community while another is still on level `k`
+/// of a different one, so a straggling MPTD call no longer stalls the whole
+/// frontier.
+///
+/// **Exactness contract.** The trusses found are identical to
+/// [`TcfiMiner`]'s at any thread count ([`MiningResult::same_trusses`]):
+/// a candidate's truss is computed inside the intersection of its parents'
+/// trusses exactly as the serial miner does. The *counters* legitimately
+/// differ from the serial miner's: crossing the barrier means the global
+/// Apriori subset check (every `(k-1)`-sub-pattern qualified, which needs
+/// the whole previous level) is traded for the parents-only check, so this
+/// miner may generate — and prune or MPTD — a superset of the serial
+/// candidates. Anti-monotonicity (Proposition 5.2) guarantees every extra
+/// candidate's truss is empty, so the result set is unchanged. All counters
+/// are still **deterministic**: they are functions of the qualified-pattern
+/// set, not of scheduling, so equal-thread-count runs and different thread
+/// counts report identical stats.
 #[derive(Debug, Clone)]
 pub struct ParallelTcfiMiner {
     /// Safety cap on pattern length.
     pub max_len: usize,
-    /// Worker threads per level (clamped to ≥ 1).
+    /// Worker threads (clamped to ≥ 1; 1 runs inline on the caller).
     pub threads: usize,
 }
 
@@ -123,9 +145,161 @@ impl Default for ParallelTcfiMiner {
     }
 }
 
+/// A work-stealing task: a level-1 seed or a join of two qualified parents.
+enum WsTask {
+    Seed(Item),
+    Join(Arc<PatternTruss>, Arc<PatternTruss>),
+}
+
+/// Per-worker private state: qualified trusses found by this worker plus
+/// its share of the counters. Reduced deterministically after the run.
+#[derive(Default)]
+struct WsState {
+    found: Vec<Arc<PatternTruss>>,
+    stats: MinerStats,
+}
+
+/// Qualified patterns grouped by their Apriori join prefix (the first
+/// `k-1` items of a length-`k` pattern); level-1 singletons all share the
+/// empty prefix. Guarded by one mutex: it is touched once per *qualified*
+/// pattern, which is rare next to candidate processing.
+type SiblingGroups = parking_lot::Mutex<FxHashMap<Box<[Item]>, Vec<Arc<PatternTruss>>>>;
+
+/// Records a qualified truss and spawns the join candidates it unlocks:
+/// one per already-qualified sibling sharing its Apriori prefix. Spawning
+/// from inside the group lock is safe (the executor queue has its own
+/// lock) and makes the pairing race-free: each unordered sibling pair is
+/// generated exactly once, by whichever of the two qualified later.
+fn ws_qualify(
+    groups: &SiblingGroups,
+    max_len: usize,
+    truss: Arc<PatternTruss>,
+    state: &mut WsState,
+    worker: &Worker<'_, WsTask>,
+) {
+    state.found.push(truss.clone());
+    if truss.pattern.len() >= max_len {
+        return;
+    }
+    let mut groups = groups.lock();
+    let siblings = groups.entry(truss.pattern.prefix().into()).or_default();
+    for sibling in siblings.iter() {
+        worker.spawn(WsTask::Join(sibling.clone(), truss.clone()));
+    }
+    siblings.push(truss);
+}
+
 impl Miner for ParallelTcfiMiner {
     fn name(&self) -> &'static str {
-        "TCFI-par"
+        "TCFI-WS"
+    }
+
+    fn mine(&self, network: &DatabaseNetwork, alpha: f64) -> MiningResult {
+        let sw = Stopwatch::start();
+        let max_len = self.max_len;
+        let groups: SiblingGroups = parking_lot::Mutex::new(FxHashMap::default());
+
+        // Level-1 seeds are always mined (like `mine_level_one`); `max_len`
+        // only caps how deep qualified patterns are joined further.
+        let seeds: Vec<WsTask> = network
+            .items_in_use()
+            .into_iter()
+            .map(WsTask::Seed)
+            .collect();
+        let states = Executor::new(self.threads).run(
+            seeds,
+            |_| WsState::default(),
+            |state, task, worker| match task {
+                WsTask::Seed(item) => {
+                    state.stats.candidates_generated += 1;
+                    let pattern = Pattern::singleton(item);
+                    let theme = ThemeNetwork::induce(network, &pattern);
+                    if theme.is_trivial() {
+                        return;
+                    }
+                    state.stats.mptd_calls += 1;
+                    let truss = maximal_pattern_truss(&theme, alpha);
+                    if !truss.is_empty() {
+                        ws_qualify(&groups, max_len, Arc::new(truss), state, worker);
+                    }
+                }
+                WsTask::Join(left, right) => {
+                    state.stats.candidates_generated += 1;
+                    let intersection = left.intersect_edges(&right);
+                    if intersection.is_empty() {
+                        // Proposition 5.3, exactly as the serial miner.
+                        state.stats.pruned_by_intersection += 1;
+                        return;
+                    }
+                    let pattern = left.pattern.union(&right.pattern);
+                    let theme = ThemeNetwork::induce_from_edges(network, &pattern, &intersection);
+                    if theme.is_trivial() {
+                        return;
+                    }
+                    state.stats.mptd_calls += 1;
+                    let truss = maximal_pattern_truss(&theme, alpha);
+                    if !truss.is_empty() {
+                        ws_qualify(&groups, max_len, Arc::new(truss), state, worker);
+                    }
+                }
+            },
+        );
+
+        // Deterministic reduction: per-worker states arrive in worker-index
+        // order; the counters are order-insensitive sums and the trusses are
+        // canonically re-sorted by `MiningResult::new`.
+        let mut stats = MinerStats::default();
+        let mut found: Vec<Arc<PatternTruss>> = Vec::new();
+        for state in states {
+            stats.mptd_calls += state.stats.mptd_calls;
+            stats.candidates_generated += state.stats.candidates_generated;
+            stats.pruned_by_intersection += state.stats.pruned_by_intersection;
+            found.extend(state.found);
+        }
+        // Dropping the sibling groups releases the second Arc reference on
+        // every registered truss, so the unwrap below is almost always free.
+        drop(groups);
+        let trusses = found
+            .into_iter()
+            .map(|t| Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+
+        stats.elapsed_secs = sw.elapsed_secs();
+        MiningResult::new(alpha, trusses, stats)
+    }
+}
+
+/// The pre-executor parallel TCFI: a per-level thread pool with a hard
+/// barrier between Apriori levels, kept as the measured baseline that
+/// [`ParallelTcfiMiner`] is benchmarked against (`throughput_bench`).
+///
+/// Produces exactly the same [`MiningResult`] trusses **and counters** as
+/// [`TcfiMiner`] (the level barrier keeps the Apriori frontier identical);
+/// only wall-clock and scheduling differ. Each worker collects
+/// `(candidate_index, truss)` pairs privately; the merge joins workers in
+/// spawn order and then sorts by candidate index, so the level handed to
+/// the next round is in candidate order — identical to the serial miner's —
+/// regardless of thread interleaving.
+#[derive(Debug, Clone)]
+pub struct LevelBarrierTcfiMiner {
+    /// Safety cap on pattern length.
+    pub max_len: usize,
+    /// Worker threads per level (clamped to ≥ 1).
+    pub threads: usize,
+}
+
+impl Default for LevelBarrierTcfiMiner {
+    fn default() -> Self {
+        LevelBarrierTcfiMiner {
+            max_len: usize::MAX,
+            threads: 4,
+        }
+    }
+}
+
+impl Miner for LevelBarrierTcfiMiner {
+    fn name(&self) -> &'static str {
+        "TCFI-barrier"
     }
 
     fn mine(&self, network: &DatabaseNetwork, alpha: f64) -> MiningResult {
@@ -146,51 +320,63 @@ impl Miner for ParallelTcfiMiner {
             let candidates = apriori::generate_candidates(&mut prev_patterns);
             stats.candidates_generated += candidates.len();
 
-            let mptd_calls = AtomicUsize::new(0);
-            let pruned = AtomicUsize::new(0);
             let next_idx = AtomicUsize::new(0);
-            let found = parking_lot::Mutex::new(Vec::new());
-
-            std::thread::scope(|scope| {
-                for _ in 0..threads.min(candidates.len().max(1)) {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next_idx.fetch_add(1, Ordering::Relaxed);
-                            if i >= candidates.len() {
-                                break;
+            let (found, mptd_calls, pruned) = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads.min(candidates.len().max(1)))
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local: Vec<(usize, PatternTruss)> = Vec::new();
+                            let (mut calls, mut pruned) = (0usize, 0usize);
+                            loop {
+                                let i = next_idx.fetch_add(1, Ordering::Relaxed);
+                                if i >= candidates.len() {
+                                    break;
+                                }
+                                let cand = &candidates[i];
+                                let left = &by_pattern[&prev_patterns[cand.left]];
+                                let right = &by_pattern[&prev_patterns[cand.right]];
+                                let intersection = left.intersect_edges(right);
+                                if intersection.is_empty() {
+                                    pruned += 1;
+                                    continue;
+                                }
+                                let theme = ThemeNetwork::induce_from_edges(
+                                    network,
+                                    &cand.pattern,
+                                    &intersection,
+                                );
+                                if theme.is_trivial() {
+                                    continue;
+                                }
+                                calls += 1;
+                                let truss = maximal_pattern_truss(&theme, alpha);
+                                if !truss.is_empty() {
+                                    local.push((i, truss));
+                                }
                             }
-                            let cand = &candidates[i];
-                            let left = &by_pattern[&prev_patterns[cand.left]];
-                            let right = &by_pattern[&prev_patterns[cand.right]];
-                            let intersection = left.intersect_edges(right);
-                            if intersection.is_empty() {
-                                pruned.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            let theme = ThemeNetwork::induce_from_edges(
-                                network,
-                                &cand.pattern,
-                                &intersection,
-                            );
-                            if theme.is_trivial() {
-                                continue;
-                            }
-                            mptd_calls.fetch_add(1, Ordering::Relaxed);
-                            let truss = maximal_pattern_truss(&theme, alpha);
-                            if !truss.is_empty() {
-                                local.push(truss);
-                            }
-                        }
-                        found.lock().extend(local);
-                    });
+                            (local, calls, pruned)
+                        })
+                    })
+                    .collect();
+                // Deterministic merge: workers join in spawn order, then the
+                // level is sorted by candidate index — the order the serial
+                // miner would have produced.
+                let mut found: Vec<(usize, PatternTruss)> = Vec::new();
+                let (mut calls, mut pruned) = (0usize, 0usize);
+                for handle in handles {
+                    let (local, c, p) = handle.join().expect("level worker panicked");
+                    found.extend(local);
+                    calls += c;
+                    pruned += p;
                 }
+                found.sort_unstable_by_key(|&(i, _)| i);
+                (found, calls, pruned)
             });
 
-            stats.mptd_calls += mptd_calls.into_inner();
-            stats.pruned_by_intersection += pruned.into_inner();
+            stats.mptd_calls += mptd_calls;
+            stats.pruned_by_intersection += pruned;
             all.extend(by_pattern.into_values());
-            level = found.into_inner();
+            level = found.into_iter().map(|(_, t)| t).collect();
             k += 1;
         }
         all.append(&mut level);
@@ -322,21 +508,169 @@ mod tests {
         assert_eq!(r.np(), 0);
     }
 
+    /// A larger deterministic network (pseudo-random via a hand-rolled
+    /// LCG — tc-core has no rand dependency): several planted triangles
+    /// with overlapping item sets plus noise edges, big enough to give the
+    /// parallel miners real multi-level candidate frontiers.
+    fn lcg_net(seed: u64) -> DatabaseNetwork {
+        let mut state = seed | 1;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = DatabaseNetworkBuilder::new();
+        let items: Vec<_> = (0..8).map(|i| b.intern_item(&format!("i{i}"))).collect();
+        // 10 triangles over 30 vertices; triangle t uses a 3-item theme.
+        for t in 0..10u32 {
+            let (u, v, w) = (3 * t, 3 * t + 1, 3 * t + 2);
+            b.add_edge(u, v).add_edge(v, w).add_edge(u, w);
+            let theme: Vec<_> = (0..3).map(|j| items[((t as usize) + j) % 8]).collect();
+            for vertex in [u, v, w] {
+                for _ in 0..3 {
+                    b.add_transaction(vertex, &theme);
+                }
+                // Noise item.
+                b.add_transaction(vertex, &[items[next(8) as usize]]);
+            }
+        }
+        // Noise edges stitching triangles together.
+        for _ in 0..12 {
+            let (u, v) = (next(30) as u32, next(30) as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
     #[test]
-    fn parallel_variant_identical_results() {
-        let net = overlapping_net();
-        for alpha in [0.0, 0.3, 0.5] {
-            let serial = TcfiMiner::default().mine(&net, alpha);
-            for threads in [1, 2, 4] {
-                let par = TcfiMiner::default().parallel(threads).mine(&net, alpha);
-                assert!(
-                    serial.same_trusses(&par),
-                    "serial vs {threads}-thread TCFI at alpha = {alpha}"
-                );
-                assert_eq!(serial.stats.mptd_calls, par.stats.mptd_calls);
+    fn work_stealing_identical_trusses_to_serial() {
+        for net in [overlapping_net(), lcg_net(0xC0FFEE)] {
+            for alpha in [0.0, 0.3, 0.5] {
+                let serial = TcfiMiner::default().mine(&net, alpha);
+                for threads in [1, 2, 4, 8] {
+                    let par = TcfiMiner::default().parallel(threads).mine(&net, alpha);
+                    assert!(
+                        serial.same_trusses(&par),
+                        "serial vs {threads}-thread WS TCFI at alpha = {alpha}: {} vs {}",
+                        serial.np(),
+                        par.np()
+                    );
+                    // Crossing the barrier trades the global Apriori subset
+                    // check for the parents-only check, so the WS miner may
+                    // attempt a superset of the serial candidates — never
+                    // fewer (see the ParallelTcfiMiner docs).
+                    assert!(par.stats.candidates_generated >= serial.stats.candidates_generated);
+                    assert!(par.stats.mptd_calls >= serial.stats.mptd_calls);
+                    assert!(
+                        par.stats.pruned_by_intersection >= serial.stats.pruned_by_intersection
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_counters_deterministic_across_threads_and_runs() {
+        // The WS counters are functions of the qualified-pattern set, not
+        // of scheduling: every thread count and every repetition must
+        // report identical stats.
+        let net = lcg_net(0xBEEF);
+        let reference = TcfiMiner::default().parallel(1).mine(&net, 0.2);
+        for threads in [1, 2, 8] {
+            for _ in 0..3 {
+                let r = TcfiMiner::default().parallel(threads).mine(&net, 0.2);
+                assert!(reference.same_trusses(&r), "threads = {threads}");
+                assert_eq!(reference.stats.mptd_calls, r.stats.mptd_calls);
                 assert_eq!(
-                    serial.stats.pruned_by_intersection,
-                    par.stats.pruned_by_intersection
+                    reference.stats.candidates_generated,
+                    r.stats.candidates_generated
+                );
+                assert_eq!(
+                    reference.stats.pruned_by_intersection,
+                    r.stats.pruned_by_intersection
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_respects_max_len() {
+        let net = overlapping_net();
+        for max_len in [1, 2] {
+            let serial = TcfiMiner { max_len }.mine(&net, 0.0);
+            let par = TcfiMiner { max_len }.parallel(4).mine(&net, 0.0);
+            assert!(serial.same_trusses(&par), "max_len = {max_len}");
+            assert!(par.trusses.iter().all(|t| t.pattern.len() <= max_len));
+        }
+    }
+
+    #[test]
+    fn level_barrier_identical_results_and_counters() {
+        // The barrier pool keeps the serial Apriori frontier, so trusses
+        // AND counters must match the serial miner exactly.
+        for net in [overlapping_net(), lcg_net(0xF00D)] {
+            for alpha in [0.0, 0.3, 0.5] {
+                let serial = TcfiMiner::default().mine(&net, alpha);
+                for threads in [1, 2, 4, 8] {
+                    let par = LevelBarrierTcfiMiner {
+                        max_len: usize::MAX,
+                        threads,
+                    }
+                    .mine(&net, alpha);
+                    assert!(
+                        serial.same_trusses(&par),
+                        "serial vs {threads}-thread barrier TCFI at alpha = {alpha}"
+                    );
+                    assert_eq!(serial.stats.mptd_calls, par.stats.mptd_calls);
+                    assert_eq!(
+                        serial.stats.candidates_generated,
+                        par.stats.candidates_generated
+                    );
+                    assert_eq!(
+                        serial.stats.pruned_by_intersection,
+                        par.stats.pruned_by_intersection
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_barrier_merge_is_deterministic() {
+        // Regression test for the old `Mutex<Vec<_>>` collection whose
+        // ordering depended on thread interleaving: per-worker collection
+        // plus the candidate-index merge must make repeated
+        // multi-threaded runs bit-for-bit reproducible.
+        let net = lcg_net(0xDEAD);
+        let reference = LevelBarrierTcfiMiner {
+            max_len: usize::MAX,
+            threads: 1,
+        }
+        .mine(&net, 0.2);
+        for threads in [2, 8] {
+            for _ in 0..4 {
+                let r = LevelBarrierTcfiMiner {
+                    max_len: usize::MAX,
+                    threads,
+                }
+                .mine(&net, 0.2);
+                assert_eq!(reference.trusses.len(), r.trusses.len());
+                for (a, b) in reference.trusses.iter().zip(&r.trusses) {
+                    assert_eq!(a.pattern, b.pattern);
+                    assert_eq!(a.edges, b.edges);
+                    assert_eq!(a.vertices, b.vertices);
+                }
+                assert_eq!(reference.stats.mptd_calls, r.stats.mptd_calls);
+                assert_eq!(
+                    reference.stats.candidates_generated,
+                    r.stats.candidates_generated
+                );
+                assert_eq!(
+                    reference.stats.pruned_by_intersection,
+                    r.stats.pruned_by_intersection
                 );
             }
         }
@@ -348,6 +682,9 @@ mod tests {
         b.ensure_vertex(1);
         let net = b.build().unwrap();
         let r = ParallelTcfiMiner::default().mine(&net, 0.0);
+        assert_eq!(r.np(), 0);
+        assert_eq!(r.stats.mptd_calls, 0);
+        let r = LevelBarrierTcfiMiner::default().mine(&net, 0.0);
         assert_eq!(r.np(), 0);
         assert_eq!(r.stats.mptd_calls, 0);
     }

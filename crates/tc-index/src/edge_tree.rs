@@ -9,16 +9,15 @@
 //! resulting [`TcTree`] answers QBA/QBP queries and round-trips through
 //! the persistence format unchanged.
 
-use crate::tree::{BuildStats, TcNode, TcTree};
-use std::collections::VecDeque;
-use tc_core::{EdgeDatabaseNetwork, TrussDecomposition};
-use tc_txdb::{Item, Pattern};
-use tc_util::Stopwatch;
+use crate::tree::{build_nodes_parallel, CandidateOutcome, TcTree};
+use tc_core::EdgeDatabaseNetwork;
+use tc_txdb::Pattern;
 
 /// Configuration for building an edge-network TC-Tree.
 #[derive(Debug, Clone)]
 pub struct EdgeTcTreeBuilder {
-    /// Worker threads for layer 1.
+    /// Worker threads for every construction phase (layer 1 and the
+    /// per-level candidate fan-out).
     pub threads: usize,
     /// Maximum pattern length to index.
     pub max_len: usize,
@@ -35,138 +34,25 @@ impl Default for EdgeTcTreeBuilder {
 
 impl EdgeTcTreeBuilder {
     /// Builds the TC-Tree of an edge database network (Algorithm 4 with
-    /// edge-pattern trusses).
+    /// edge-pattern trusses), on the shared parallel set-enumeration
+    /// engine of [`crate::tree`]. Unlike the vertex builder there is no
+    /// trivial-theme short-circuit: every candidate surviving the
+    /// intersection prune is decomposed, preserving this builder's
+    /// historical counter semantics.
     pub fn build(&self, network: &EdgeDatabaseNetwork) -> TcTree {
-        let sw = Stopwatch::start();
-        let mut stats = BuildStats::default();
-        let mut nodes = vec![TcNode {
-            item: Item(0),
-            pattern: Pattern::empty(),
-            parent: 0,
-            children: Vec::new(),
-            truss: TrussDecomposition::default(),
-        }];
-
-        // Layer 1, parallel across items.
-        let items = network.items_in_use();
-        stats.candidates += items.len();
-        stats.decompositions += items.len();
-        let layer1 = decompose_items_parallel(network, &items, self.threads.max(1));
-
-        let mut queue: VecDeque<u32> = VecDeque::new();
-        for (item, truss) in layer1 {
-            if truss.is_empty() {
-                continue;
-            }
-            let id = nodes.len() as u32;
-            nodes.push(TcNode {
-                item,
-                pattern: Pattern::singleton(item),
-                parent: 0,
-                children: Vec::new(),
-                truss,
-            });
-            nodes[0].children.push(id);
-            queue.push_back(id);
-        }
-
-        // Breadth-first expansion with intersection-restricted computation.
-        while let Some(nf) = queue.pop_front() {
-            if nodes[nf as usize].pattern.len() >= self.max_len {
-                continue;
-            }
-            let parent = nodes[nf as usize].parent;
-            let f_item = nodes[nf as usize].item;
-            let siblings: Vec<u32> = nodes[parent as usize]
-                .children
-                .iter()
-                .copied()
-                .filter(|&nb| nodes[nb as usize].item > f_item)
-                .collect();
-            if siblings.is_empty() {
-                continue;
-            }
-            let f_edges = nodes[nf as usize].truss.edges_at(0.0);
-            for nb in siblings {
-                stats.candidates += 1;
-                let b_edges = nodes[nb as usize].truss.edges_at(0.0);
-                let intersection = intersect_sorted(&f_edges, &b_edges);
-                if intersection.is_empty() {
-                    stats.pruned_by_intersection += 1;
-                    continue;
-                }
-                let pattern = nodes[nf as usize]
-                    .pattern
-                    .with_item(nodes[nb as usize].item);
-                stats.decompositions += 1;
-                let truss = network.decompose_edge_truss(&pattern, Some(&intersection));
-                if truss.is_empty() {
-                    continue;
-                }
-                let id = nodes.len() as u32;
-                nodes.push(TcNode {
-                    item: nodes[nb as usize].item,
-                    pattern,
-                    parent: nf,
-                    children: Vec::new(),
-                    truss,
-                });
-                nodes[nf as usize].children.push(id);
-                queue.push_back(id);
-            }
-        }
-
-        stats.build_secs = sw.elapsed_secs();
+        let layer1 = |item| network.decompose_edge_truss(&Pattern::singleton(item), None);
+        let join = |pattern: &Pattern, intersection: &[tc_graph::EdgeKey]| {
+            CandidateOutcome::Decomposed(network.decompose_edge_truss(pattern, Some(intersection)))
+        };
+        let (nodes, stats) = build_nodes_parallel(
+            self.threads,
+            self.max_len,
+            network.items_in_use(),
+            &layer1,
+            &join,
+        );
         TcTree::from_parts(nodes, stats)
     }
-}
-
-fn decompose_items_parallel(
-    network: &EdgeDatabaseNetwork,
-    items: &[Item],
-    threads: usize,
-) -> Vec<(Item, TrussDecomposition)> {
-    let decompose_one = |item: Item| network.decompose_edge_truss(&Pattern::singleton(item), None);
-    if threads <= 1 || items.len() < 2 {
-        return items.iter().map(|&i| (i, decompose_one(i))).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let collected = parking_lot::Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, decompose_one(items[i])));
-                }
-                collected.lock().extend(local);
-            });
-        }
-    });
-    let mut indexed = collected.into_inner();
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(i, d)| (items[i], d)).collect()
-}
-
-fn intersect_sorted(a: &[tc_graph::EdgeKey], b: &[tc_graph::EdgeKey]) -> Vec<tc_graph::EdgeKey> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]

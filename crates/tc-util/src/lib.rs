@@ -20,6 +20,10 @@
 //!   floating-point noise.
 //! * [`heapsize`] — a trait reporting the heap footprint of a value, used to
 //!   reproduce the "Memory" column of Table 3.
+//! * [`steal`] — the work-stealing task executor behind the parallel
+//!   miners and the parallel TC-Tree builders: per-worker deques,
+//!   steal-half balancing, dynamic task spawning, deterministic
+//!   per-worker state reduction.
 //! * [`timer`] — a tiny stopwatch and simple descriptive statistics used by
 //!   the benchmark harness.
 
@@ -30,6 +34,7 @@ pub mod error;
 pub mod float;
 pub mod hash;
 pub mod heapsize;
+pub mod steal;
 pub mod timer;
 
 pub use bitset::BitSet;
@@ -39,4 +44,5 @@ pub use error::LoadError;
 pub use float::{approx_eq, OrdF64, COHESION_EPS};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use heapsize::HeapSize;
+pub use steal::{Executor, Worker};
 pub use timer::{SeriesStats, Stopwatch};
