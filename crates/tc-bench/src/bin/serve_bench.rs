@@ -1,0 +1,224 @@
+//! `serve_bench` — the QPS-vs-client-count sweep against a **real**
+//! `tc-serve` daemon over loopback TCP.
+//!
+//! `throughput_bench`'s serving section simulates clients in-process
+//! (direct method calls on a shared `SegmentTcTree`); this binary
+//! measures the end-to-end path instead: a [`tc_serve::Server`] bound to
+//! `127.0.0.1:0`, real sockets, the line protocol, and the blocking
+//! [`tc_serve::ServeClient`] — the same stack `tc query --remote` rides.
+//!
+//! Sections:
+//!
+//! * **sweep** — for each client count in the `--threads` grid (default
+//!   `1,2,4,8`), that many concurrent clients each run a deterministic
+//!   QBA/QBP mix over one session; reported per count: aggregate QPS,
+//!   nearest-rank p50/p99 round-trip latency (`tc_bench::percentile`).
+//! * **admission** — a second daemon with `--max-inflight 1` is probed
+//!   while its only slot is held: the probe must be answered `BUSY`, and
+//!   the slot must readmit after release. Failures abort the bench, so
+//!   the telemetry only ever records a daemon whose admission control
+//!   works.
+//!
+//! With `--json <path>` everything lands in the `tc-bench/v1` report
+//! (bench name `serving`, so `bench_compare` merges the groups as
+//! `serving:*`). Server workers are fixed at 4 so the sweep varies only
+//! the client count; `host_parallelism` is recorded for reading the
+//! numbers (a 1-core container serialises everything by construction).
+
+use tc_bench::report::JsonReport;
+use tc_bench::{build_dataset, fmt_count, fmt_secs, percentile, BenchArgs, Dataset, Table};
+use tc_index::TcTreeBuilder;
+use tc_serve::{ServeClient, ServeConfig, Server};
+use tc_store::SegmentTcTree;
+use tc_util::Stopwatch;
+
+/// Server-side worker threads — constant across the sweep so the client
+/// count is the only variable.
+const WORKERS: usize = 4;
+
+fn open_segment_copy(bytes: &[u8]) -> SegmentTcTree {
+    SegmentTcTree::from_bytes(bytes.to_vec()).expect("open segment tree")
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let clients_grid = args.thread_grid(&[1, 2, 4, 8]);
+    let per_client = if args.quick { 150 } else { 1500 };
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // One tree serves the whole sweep: SYN at the configured scale.
+    let net = build_dataset(Dataset::Syn, 0.5 * args.scale);
+    let tree = TcTreeBuilder {
+        threads: host,
+        max_len: usize::MAX,
+    }
+    .build(&net);
+    let mut seg_bytes = Vec::new();
+    tc_store::save_tree_segment(&tree, &mut seg_bytes).expect("serialize tree");
+
+    let mut json = JsonReport::new("serving");
+    json.push("host", "parallelism", host as f64);
+    println!(
+        "# serve_bench — daemon sweep over loopback ({} vertices, {} tree nodes, host parallelism {host})",
+        fmt_count(net.num_vertices()),
+        fmt_count(tree.num_nodes())
+    );
+
+    // ---- QPS-vs-client-count sweep -------------------------------------
+    let server = Server::bind(
+        open_segment_copy(&seg_bytes),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: WORKERS,
+            max_inflight: clients_grid.iter().copied().max().unwrap_or(1) * 4,
+        },
+    )
+    .expect("bind loopback daemon");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+
+    // The deterministic query mix of throughput_bench's serving section:
+    // QBA over an alpha sweep interleaved with QBP over the singleton
+    // patterns, phase-shifted per client.
+    let bound = tree.alpha_upper_bound().max(1e-9);
+    let alphas: Vec<f64> = (0..8).map(|i| bound * (i as f64 + 0.5) / 8.0).collect();
+    let singles: Vec<Vec<u32>> = (1..=tree.num_nodes() as u32)
+        .map(|id| {
+            tree.node(id)
+                .pattern
+                .iter()
+                .map(|i| i.0)
+                .collect::<Vec<u32>>()
+        })
+        .filter(|p| p.len() == 1)
+        .collect();
+
+    let mut table = Table::new(
+        format!("QPS vs client count ({WORKERS} server workers, {per_client} queries/client)"),
+        &["Clients", "QPS", "p50", "p99"],
+    );
+    for &clients in &clients_grid {
+        let sw = Stopwatch::start();
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let (addr, alphas, singles) = (&addr, &alphas, &singles);
+                    scope.spawn(move || {
+                        let mut client = ServeClient::connect(addr).expect("connect sweep client");
+                        let mut lat = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let pick = c + i;
+                            let sw = Stopwatch::start();
+                            if pick % 2 == 0 || singles.is_empty() {
+                                let alpha = alphas[(pick / 2) % alphas.len()];
+                                client.qba(alpha).expect("QBA under load");
+                            } else {
+                                let q = &singles[(pick / 2) % singles.len()];
+                                client.qbp(q).expect("QBP under load");
+                            }
+                            lat.push(sw.elapsed_secs());
+                        }
+                        client.quit().expect("clean session end");
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep client panicked"))
+                .collect()
+        });
+        let wall = sw.elapsed_secs();
+        latencies.sort_unstable_by(f64::total_cmp);
+        let total = clients * per_client;
+        let qps = total as f64 / wall;
+        let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+        json.push("sweep", format!("serve_c{clients}_qps"), qps);
+        json.push("sweep", format!("serve_c{clients}_p50_secs"), p50);
+        json.push("sweep", format!("serve_c{clients}_p99_secs"), p99);
+        table.push_row(vec![
+            clients.to_string(),
+            format!("{qps:.0}"),
+            fmt_secs(p50),
+            fmt_secs(p99),
+        ]);
+    }
+    table.print();
+
+    // Stop the sweep daemon and fold its counters into the telemetry.
+    ServeClient::connect(&addr)
+        .expect("connect for shutdown")
+        .shutdown_server()
+        .expect("daemon shutdown");
+    let stats = daemon.join().expect("daemon thread");
+    assert_eq!(
+        stats.rejected_busy, 0,
+        "sweep must stay under the admission limit"
+    );
+    json.push("sweep", "serve_sessions_total", stats.admitted as f64);
+    json.push(
+        "sweep",
+        "serve_queries_total",
+        stats.queries_served() as f64,
+    );
+
+    // ---- Admission-control probe ---------------------------------------
+    // A daemon with one admission slot: holding it must turn the next
+    // connection into an explicit BUSY, and releasing it must readmit.
+    let server = Server::bind(
+        open_segment_copy(&seg_bytes),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            max_inflight: 1,
+        },
+    )
+    .expect("bind probe daemon");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("probe daemon run"));
+
+    let mut holder = ServeClient::connect(&addr).expect("probe holder");
+    holder.qba(0.0).expect("holder query");
+    let busy = match ServeClient::connect(&addr) {
+        Err(e) if e.is_busy() => true,
+        Err(e) => panic!("expected BUSY from a full daemon, got error {e}"),
+        Ok(_) => panic!("expected BUSY from a full daemon, got admitted"),
+    };
+    holder.quit().expect("release slot");
+    // The slot frees at the server's next read tick; poll briefly.
+    let mut readmitted = None;
+    for _ in 0..200 {
+        match ServeClient::connect(&addr) {
+            Ok(c) => {
+                readmitted = Some(c);
+                break;
+            }
+            Err(e) if e.is_busy() => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => panic!("probe reconnect failed: {e}"),
+        }
+    }
+    let client = readmitted.expect("slot never freed after QUIT");
+    client.shutdown_server().expect("probe daemon shutdown");
+    let probe_stats = daemon.join().expect("probe daemon thread");
+    println!(
+        "\nadmission probe: BUSY observed = {busy}, rejected_busy = {}",
+        probe_stats.rejected_busy
+    );
+    json.push("admission", "serve_busy_probe_ok", 1.0);
+    json.push(
+        "admission",
+        "serve_busy_rejections",
+        probe_stats.rejected_busy as f64,
+    );
+
+    if let Some(path) = &args.json {
+        json.write_to_path(path).expect("write json report");
+        println!(
+            "\nwrote {} telemetry datapoints to {}",
+            json.len(),
+            path.display()
+        );
+    }
+}

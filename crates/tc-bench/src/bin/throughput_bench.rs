@@ -22,7 +22,7 @@
 //! container, so its ratios hover near 1.0 by construction).
 
 use tc_bench::report::JsonReport;
-use tc_bench::{build_dataset, fmt_count, fmt_secs, BenchArgs, Dataset, Table};
+use tc_bench::{build_dataset, fmt_count, fmt_secs, percentile, BenchArgs, Dataset, Table};
 use tc_core::{LevelBarrierTcfiMiner, Miner, MiningResult, ParallelTcfiMiner, TcfiMiner};
 use tc_index::{TcTree, TcTreeBuilder};
 use tc_store::SegmentTcTree;
@@ -226,12 +226,6 @@ fn main() {
     let wall = sw.elapsed_secs();
     let total = clients * per_client;
 
-    let percentile = |sorted: &[f64], p: f64| -> f64 {
-        if sorted.is_empty() {
-            return f64::NAN;
-        }
-        sorted[((sorted.len() - 1) as f64 * p).round() as usize]
-    };
     let mut qba: Vec<f64> = latencies
         .iter_mut()
         .flat_map(|(a, _)| a.drain(..))

@@ -5,6 +5,8 @@
 //! * [`report`] — markdown table/series printers and the `tc-bench/v1`
 //!   JSON telemetry report (write + parse);
 //! * [`jsonin`] — the minimal JSON reader behind `bench_compare`;
+//! * [`stats`] — shared nearest-rank percentile helper for the latency
+//!   sections;
 //! * [`workloads`] — the four standard datasets (BK/GW/AMINER/SYN analogs)
 //!   at a configurable `--scale`, plus shared CLI argument parsing.
 //!
@@ -22,13 +24,16 @@
 //! | `ablation_pruning` | extra: §7.1 MPTD-call-count ablation |
 //! | `storage_bench` | extra: text-load vs `tc-store` segment-open query latency (CI telemetry source) |
 //! | `throughput_bench` | extra: parallel mining/indexing grid + sustained-load serving baseline (CI telemetry source) |
+//! | `serve_bench` | extra: QPS-vs-client-count sweep against a real `tc-serve` daemon over loopback (CI telemetry source) |
 //! | `bench_compare` | the CI bench-telemetry gate: merges reports, compares against `BENCH_main.json` |
 //! | `run_all` | drives every experiment in sequence |
 
 pub mod alloc;
 pub mod jsonin;
 pub mod report;
+pub mod stats;
 pub mod workloads;
 
 pub use report::{fmt_count, fmt_f64, fmt_secs, JsonReport, Table};
+pub use stats::percentile;
 pub use workloads::{build_dataset, BenchArgs, Dataset};

@@ -1,0 +1,96 @@
+//! Small shared statistics helpers for the benchmark binaries.
+
+/// Nearest-rank percentile over an **ascending-sorted** sample.
+///
+/// Implements the textbook nearest-rank method: the `p`-th percentile
+/// (`p` in `[0, 1]`) of `n` samples is the value at 1-based rank
+/// `ceil(p · n)`, clamped to `[1, n]`. Returns `NaN` on an empty sample.
+///
+/// This replaces the old `((n - 1) · p).round()` interpolation, which
+/// mislabelled tail percentiles on small samples — e.g. p50 of 10
+/// samples rounded rank 4.5 *up* to the 6th value, and p99 of 50 samples
+/// landed on the maximum via a 48.51 → 49 rounding rather than by rank
+/// arithmetic. Nearest-rank is monotone in `p`, exact on the boundary
+/// ranks (`p = k/n` picks the `k`-th value), and never interpolates.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn empty_sample_is_nan() {
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn single_sample_answers_itself_at_every_p() {
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.5], p), 7.5, "p={p}");
+        }
+    }
+
+    #[test]
+    fn exact_boundary_ranks_on_100_samples() {
+        let s = series(100);
+        assert_eq!(percentile(&s, 0.01), 1.0);
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.00), 100.0);
+    }
+
+    #[test]
+    fn small_sample_fixtures_match_nearest_rank_by_hand() {
+        // n = 10: ceil(p·10) ranks computed by hand.
+        let s = series(10);
+        assert_eq!(percentile(&s, 0.50), 5.0, "rank ceil(5) = 5");
+        assert_eq!(percentile(&s, 0.55), 6.0, "rank ceil(5.5) = 6");
+        assert_eq!(percentile(&s, 0.90), 9.0, "rank ceil(9) = 9");
+        assert_eq!(percentile(&s, 0.99), 10.0, "rank ceil(9.9) = 10");
+
+        // n = 4 (the canonical worked example of the nearest-rank method).
+        let s = [15.0, 20.0, 35.0, 50.0];
+        assert_eq!(percentile(&s, 0.30), 20.0, "rank ceil(1.2) = 2");
+        assert_eq!(percentile(&s, 0.40), 20.0, "rank ceil(1.6) = 2");
+        assert_eq!(percentile(&s, 0.50), 20.0, "rank ceil(2) = 2");
+        assert_eq!(percentile(&s, 0.75), 35.0, "rank ceil(3) = 3");
+        assert_eq!(percentile(&s, 1.00), 50.0);
+
+        // Regression vs the old rounding bug: p50 of 10 samples must be
+        // the 5th value, not the 6th the round-half-up picked.
+        assert_ne!(percentile(&series(10), 0.5), 6.0);
+    }
+
+    #[test]
+    fn out_of_range_p_clamps_to_the_extremes() {
+        let s = series(5);
+        assert_eq!(percentile(&s, 0.0), 1.0, "rank 0 clamps to the minimum");
+        assert_eq!(percentile(&s, -1.0), 1.0);
+        assert_eq!(percentile(&s, 2.0), 5.0, "over-1 p clamps to the maximum");
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let s = series(50);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = percentile(&s, i as f64 / 100.0);
+            assert!(
+                v >= last,
+                "p={} dropped from {last} to {v}",
+                i as f64 / 100.0
+            );
+            last = v;
+        }
+    }
+}

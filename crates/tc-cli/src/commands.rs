@@ -12,18 +12,62 @@ use tc_store::{DetectedFormat, SegmentTcTree};
 use tc_txdb::Pattern;
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
+///
+/// Every subcommand declares its known flags via [`Flags::parse`]'s
+/// `known` list; an unrecognised `--flag` is rejected up front (with a
+/// "did you mean" suggestion when a known flag is close) instead of
+/// being silently swallowed as an unread key.
+#[derive(Debug)]
 struct Flags {
     positional: Vec<String>,
     options: Vec<(String, String)>,
 }
 
+/// Levenshtein edit distance — powers the "did you mean" suggestion.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
 impl Flags {
-    fn parse(args: &[String]) -> Result<Flags, String> {
+    /// Parses `args` against the subcommand's `known` flag names.
+    fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
         let mut positional = Vec::new();
         let mut options = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if !known.contains(&key) {
+                    let suggestion = known
+                        .iter()
+                        .map(|k| (edit_distance(key, k), k))
+                        .min()
+                        .filter(|(d, _)| *d <= 2)
+                        .map(|(_, k)| k);
+                    return Err(match suggestion {
+                        Some(s) => format!("unknown flag --{key} (did you mean --{s}?)"),
+                        None if known.is_empty() => {
+                            format!("unknown flag --{key} (this subcommand takes no flags)")
+                        }
+                        None => format!(
+                            "unknown flag --{key} (expected one of: {})",
+                            known
+                                .iter()
+                                .map(|k| format!("--{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -66,6 +110,14 @@ fn fail(msg: impl std::fmt::Display) -> i32 {
     2
 }
 
+/// The shared `--threads` default for `mine` and `index`: every core the
+/// host offers. Results are identical at any thread count (the parallel
+/// miner and builders are exact), so defaulting to full parallelism only
+/// changes wall-clock, never output.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
 /// Resolves `--format auto|text|seg` against an output path: `auto`
 /// follows the `.seg` extension.
 fn wants_segment(format: Option<&str>, out: &str) -> Result<bool, String> {
@@ -79,7 +131,7 @@ fn wants_segment(format: Option<&str>, out: &str) -> Result<bool, String> {
 
 /// `tc generate --kind K --out PATH [--scale F] [--seed N] [--format auto|text|seg]`
 pub fn generate(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args) {
+    let flags = match Flags::parse(args, &["kind", "out", "scale", "seed", "format"]) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -171,7 +223,7 @@ fn load_net(path: &str) -> Result<DatabaseNetwork, String> {
 
 /// `tc stats <net.dbnet>`
 pub fn stats(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args) {
+    let flags = match Flags::parse(args, &[]) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -201,7 +253,7 @@ pub fn stats(args: &[String]) -> i32 {
 
 /// `tc mine <net.dbnet> --alpha F [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]`
 pub fn mine(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args) {
+    let flags = match Flags::parse(args, &["alpha", "miner", "threads", "epsilon", "top"]) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -220,7 +272,7 @@ pub fn mine(args: &[String]) -> i32 {
         Ok(t) => t,
         Err(e) => return fail(e),
     };
-    let threads = match flags.get_usize("threads", 1) {
+    let threads = match flags.get_usize("threads", default_threads()) {
         Ok(t) => t.max(1),
         Err(e) => return fail(e),
     };
@@ -229,7 +281,9 @@ pub fn mine(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let miner_name = flags.get("miner").unwrap_or("tcfi");
-    if threads > 1 && miner_name != "tcfi" {
+    // Warn only on an *explicit* --threads: the default is whatever the
+    // host offers, which non-tcfi miners legitimately ignore.
+    if flags.get("threads").is_some() && threads > 1 && miner_name != "tcfi" {
         eprintln!("warning: --threads applies to the tcfi miner only; mining single-threaded");
     }
     let miner: Box<dyn Miner> = match (miner_name, threads) {
@@ -269,7 +323,7 @@ pub fn mine(args: &[String]) -> i32 {
 
 /// `tc index <net> --out tree.tct|tree.seg [--threads N] [--format auto|text|seg]`
 pub fn index(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args) {
+    let flags = match Flags::parse(args, &["out", "threads", "format"]) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -279,7 +333,7 @@ pub fn index(args: &[String]) -> i32 {
     let Some(out) = flags.get("out") else {
         return fail("--out is required");
     };
-    let threads = match flags.get_usize("threads", 4) {
+    let threads = match flags.get_usize("threads", default_threads()) {
         Ok(t) => t.max(1),
         Err(e) => return fail(e),
     };
@@ -348,22 +402,56 @@ impl LoadedTree {
     }
 }
 
+/// Resolves a `--pattern` spec (comma-separated numeric ids or, with a
+/// network, item names) into a [`Pattern`].
+fn parse_pattern(spec: &str, net: Option<&DatabaseNetwork>) -> Result<Pattern, String> {
+    let mut items = Vec::new();
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        // Numeric id, or a name resolved through --network.
+        let item = if let Ok(id) = token.parse::<u32>() {
+            tc_txdb::Item(id)
+        } else if let Some(net) = net {
+            net.item_space()
+                .get(token)
+                .ok_or_else(|| format!("unknown item '{token}'"))?
+        } else {
+            return Err(format!(
+                "item '{token}' is not numeric; pass --network to resolve names"
+            ));
+        };
+        items.push(item);
+    }
+    Ok(Pattern::new(items))
+}
+
+/// Prints the shared truss listing — identical lines for local and
+/// remote backends, so the two paths diff clean in CI.
+fn print_trusses<'a>(
+    trusses: impl ExactSizeIterator<Item = (Pattern, usize, usize)> + 'a,
+    net: Option<&DatabaseNetwork>,
+) {
+    let total = trusses.len();
+    for (pattern, vertices, edges) in trusses.take(20) {
+        let rendered = match net {
+            Some(n) => n.item_space().render(&pattern),
+            None => pattern.to_string(),
+        };
+        println!("  {rendered}: {vertices} vertices, {edges} edges");
+    }
+    if total > 20 {
+        println!("  … and {} more", total - 20);
+    }
+}
+
 /// `tc query <tree.tct|tree.seg> [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
-#[allow(clippy::too_many_lines)]
+/// `tc query --remote HOST:PORT [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
 pub fn query(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args) {
+    let flags = match Flags::parse(args, &["alpha", "pattern", "network", "remote"]) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
-    let Some(path) = flags.positional.first() else {
-        return fail("usage: tc query <tree.tct|tree.seg> [--alpha F] [--pattern items]");
-    };
     let alpha = match flags.get_f64("alpha", 0.0) {
         Ok(a) => a,
-        Err(e) => return fail(e),
-    };
-    let tree = match LoadedTree::open(path) {
-        Ok(t) => t,
         Err(e) => return fail(e),
     };
     // Optional network for item-name resolution and pretty printing.
@@ -374,29 +462,34 @@ pub fn query(args: &[String]) -> i32 {
         },
         None => None,
     };
+    let pattern = match flags.get("pattern") {
+        Some(spec) => match parse_pattern(spec, net.as_ref()) {
+            Ok(p) => Some(p),
+            Err(e) => return fail(e),
+        },
+        None => None,
+    };
 
-    let result = match flags.get("pattern") {
-        None => tree.query_by_alpha(alpha),
-        Some(spec) => {
-            let mut items = Vec::new();
-            for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-                // Numeric id, or a name resolved through --network.
-                let item = if let Ok(id) = token.parse::<u32>() {
-                    tc_txdb::Item(id)
-                } else if let Some(net) = &net {
-                    match net.item_space().get(token) {
-                        Some(i) => i,
-                        None => return fail(format!("unknown item '{token}'")),
-                    }
-                } else {
-                    return fail(format!(
-                        "item '{token}' is not numeric; pass --network to resolve names"
-                    ));
-                };
-                items.push(item);
-            }
-            tree.query(&Pattern::new(items), alpha)
+    if let Some(addr) = flags.get("remote") {
+        if !flags.positional.is_empty() {
+            return fail("--remote takes no tree path (the daemon already holds one)");
         }
+        return query_remote(addr, pattern.as_ref(), alpha, net.as_ref());
+    }
+
+    let Some(path) = flags.positional.first() else {
+        return fail(
+            "usage: tc query <tree.tct|tree.seg> [--alpha F] [--pattern items]\n       \
+             tc query --remote <host:port> [--alpha F] [--pattern items]",
+        );
+    };
+    let tree = match LoadedTree::open(path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let result = match &pattern {
+        None => tree.query_by_alpha(alpha),
+        Some(p) => tree.query(p, alpha),
     };
     let result = match result {
         Ok(r) => r,
@@ -414,21 +507,143 @@ pub fn query(args: &[String]) -> i32 {
             seg.num_nodes()
         );
     }
-    for t in result.trusses.iter().take(20) {
-        let rendered = match &net {
-            Some(n) => n.item_space().render(&t.pattern),
-            None => t.pattern.to_string(),
-        };
-        println!(
-            "  {rendered}: {} vertices, {} edges",
-            t.num_vertices(),
-            t.num_edges()
-        );
-    }
-    if result.trusses.len() > 20 {
-        println!("  … and {} more", result.trusses.len() - 20);
-    }
+    print_trusses(
+        result
+            .trusses
+            .iter()
+            .map(|t| (t.pattern.clone(), t.num_vertices(), t.num_edges())),
+        net.as_ref(),
+    );
     0
+}
+
+/// The `--remote` arm of `tc query`: same flags, same output lines, but
+/// the answer comes from a `tc serve` daemon over TCP.
+fn query_remote(
+    addr: &str,
+    pattern: Option<&Pattern>,
+    alpha: f64,
+    net: Option<&DatabaseNetwork>,
+) -> i32 {
+    let mut client = match tc_serve::ServeClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("{addr}: {e}")),
+    };
+    let result = match pattern {
+        None => client.qba(alpha),
+        Some(p) => client.query(&p.iter().map(|i| i.0).collect::<Vec<_>>(), alpha),
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => return fail(format!("{addr}: {e}")),
+    };
+    println!(
+        "retrieved {} maximal pattern trusses in {:.6}s ({} nodes visited)",
+        result.retrieved, result.elapsed_secs, result.visited
+    );
+    println!(
+        "remote backend: {addr} ({} nodes, protocol v{})",
+        client.nodes(),
+        client.server_version()
+    );
+    print_trusses(
+        result
+            .trusses
+            .iter()
+            .map(|t| (t.pattern(), t.vertices, t.edges)),
+        net,
+    );
+    let _ = client.quit();
+    0
+}
+
+/// `tc serve <tree.seg> [--addr HOST:PORT] [--workers N] [--max-inflight N]`
+///
+/// Opens a TC-Tree segment once and serves QBA/QBP/QUERY over TCP until
+/// SIGTERM/SIGINT or a client's `SHUTDOWN` verb. Admission is bounded:
+/// beyond `--max-inflight` concurrent sessions, new connections are
+/// answered with a one-line `BUSY` greeting and closed.
+pub fn serve(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["addr", "workers", "max-inflight"]) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail(
+            "usage: tc serve <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]",
+        );
+    };
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7641");
+    let workers = match flags.get_usize("workers", default_threads()) {
+        Ok(w) => w.max(1),
+        Err(e) => return fail(e),
+    };
+    let max_inflight = match flags.get_usize("max-inflight", workers.saturating_mul(16).max(1)) {
+        Ok(m) => m.max(1),
+        Err(e) => return fail(e),
+    };
+
+    // The daemon serves the lazy segment reader only: a text tree would
+    // mean re-parsing the whole index up front — convert it once instead.
+    let p = Path::new(path.as_str());
+    let tree = match tc_store::detect_format(p).map_err(|e| e.to_string()) {
+        Ok(DetectedFormat::SegmentTree) => match SegmentTcTree::open(p) {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        },
+        Ok(DetectedFormat::TextTree) => {
+            return fail(format!(
+                "{path} is a text tree; convert it first: tc convert {path} tree.seg"
+            ))
+        }
+        Ok(DetectedFormat::SegmentNetwork | DetectedFormat::TextNetwork) => {
+            return fail(format!("{path} holds a network, expected a TC-Tree"))
+        }
+        Ok(DetectedFormat::Unknown) => {
+            return fail(format!("{path} is not a recognised TC-Tree format"))
+        }
+        Err(e) => return fail(e),
+    };
+
+    tc_serve::install_signal_handlers();
+    let server = match tc_serve::Server::bind(
+        tree,
+        addr,
+        tc_serve::ServeConfig {
+            workers,
+            max_inflight,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{addr}: {e}")),
+    };
+    let local = match server.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => return fail(e),
+    };
+    println!(
+        "tc-serve listening on {local} ({path}, workers={workers}, max-inflight={max_inflight})"
+    );
+    // Piped stdout is block-buffered: flush so supervisors (and the smoke
+    // test) can read the resolved address before the first connection.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "shutdown complete: {} sessions admitted, {} busy-rejected, {} queries served \
+                 ({} QBA, {} QBP, {} QUERY), {} protocol errors",
+                stats.admitted,
+                stats.rejected_busy,
+                stats.queries_served(),
+                stats.qba,
+                stats.qbp,
+                stats.query,
+                stats.protocol_errors
+            );
+            0
+        }
+        Err(e) => fail(e),
+    }
 }
 
 /// `tc convert <in> <out> [--to auto|text|seg]`
@@ -437,7 +652,7 @@ pub fn query(args: &[String]) -> i32 {
 /// The input kind is auto-detected; `--to auto` (the default) targets the
 /// `.seg` extension or, absent that, the opposite of the input's format.
 pub fn convert(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args) {
+    let flags = match Flags::parse(args, &["to"]) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -506,7 +721,11 @@ mod tests {
 
     #[test]
     fn flags_parse_positional_and_options() {
-        let f = Flags::parse(&strs(&["net.dbnet", "--alpha", "0.5", "--top", "3"])).unwrap();
+        let f = Flags::parse(
+            &strs(&["net.dbnet", "--alpha", "0.5", "--top", "3"]),
+            &["alpha", "top"],
+        )
+        .unwrap();
         assert_eq!(f.positional, vec!["net.dbnet"]);
         assert_eq!(f.get("alpha"), Some("0.5"));
         assert_eq!(f.get_f64("alpha", 0.0).unwrap(), 0.5);
@@ -516,19 +735,19 @@ mod tests {
 
     #[test]
     fn flags_missing_value_is_error() {
-        assert!(Flags::parse(&strs(&["--alpha"])).is_err());
+        assert!(Flags::parse(&strs(&["--alpha"]), &["alpha"]).is_err());
     }
 
     #[test]
     fn flags_bad_numeric_is_error() {
-        let f = Flags::parse(&strs(&["--alpha", "abc"])).unwrap();
+        let f = Flags::parse(&strs(&["--alpha", "abc"]), &["alpha"]).unwrap();
         assert!(f.get_f64("alpha", 0.0).is_err());
         assert!(f.get_usize("alpha", 0).is_err());
     }
 
     #[test]
     fn flags_last_occurrence_wins() {
-        let f = Flags::parse(&strs(&["--alpha", "0.1", "--alpha", "0.9"])).unwrap();
+        let f = Flags::parse(&strs(&["--alpha", "0.1", "--alpha", "0.9"]), &["alpha"]).unwrap();
         assert_eq!(f.get("alpha"), Some("0.9"));
     }
 
@@ -694,6 +913,125 @@ mod tests {
         );
         assert_eq!(query(&strs(&["/nonexistent/tree.tct"])), 2);
         assert_eq!(mine(&strs(&[])), 2);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_suggestions() {
+        // Typo'd flags must fail loudly, not be silently ignored.
+        let err = Flags::parse(&strs(&["--thread", "8"]), &["alpha", "threads"]).unwrap_err();
+        assert!(err.contains("did you mean --threads"), "{err}");
+        let err = Flags::parse(&strs(&["--frobnicate", "1"]), &["alpha", "top"]).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+        let err = Flags::parse(&strs(&["--x", "1"]), &[]).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+
+        // End to end through the subcommands (exit code 2, file untouched).
+        assert_eq!(mine(&strs(&["net.dbnet", "--thread", "8"])), 2);
+        assert_eq!(index(&strs(&["net.dbnet", "--ot", "x.tct"])), 2);
+        assert_eq!(stats(&strs(&["net.dbnet", "--verbose", "1"])), 2);
+        assert_eq!(
+            query(&strs(&["t.tct", "--pattren", "0,1", "--alpha", "0.1"])),
+            2
+        );
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("threads", "threads"), 0);
+        assert_eq!(edit_distance("thread", "threads"), 1);
+        assert_eq!(edit_distance("treads", "threads"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn remote_query_round_trips_against_a_daemon() {
+        let dir = std::env::temp_dir().join("tc_cli_remote_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("remote.dbnet");
+        let tree = dir.join("remote.seg");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+        assert_eq!(
+            generate(&strs(&[
+                "--kind",
+                "planted",
+                "--out",
+                &s(&net),
+                "--seed",
+                "9"
+            ])),
+            0
+        );
+        assert_eq!(
+            index(&strs(&[&s(&net), "--out", &s(&tree), "--format", "seg"])),
+            0
+        );
+
+        let seg = SegmentTcTree::open(&tree).unwrap();
+        let server = tc_serve::Server::bind(
+            seg,
+            "127.0.0.1:0",
+            tc_serve::ServeConfig {
+                workers: 2,
+                max_inflight: 8,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        assert_eq!(query(&strs(&["--remote", &addr, "--alpha", "0.1"])), 0);
+        assert_eq!(
+            query(&strs(&[
+                "--remote",
+                &addr,
+                "--pattern",
+                "0,1",
+                "--network",
+                &s(&net)
+            ])),
+            0
+        );
+        // A tree path alongside --remote is contradictory.
+        assert_eq!(
+            query(&strs(&[&s(&tree), "--remote", &addr, "--alpha", "0.1"])),
+            2
+        );
+
+        tc_serve::ServeClient::connect(&addr)
+            .unwrap()
+            .shutdown_server()
+            .unwrap();
+        daemon.join().unwrap();
+        // Daemon gone: remote queries fail cleanly.
+        assert_eq!(query(&strs(&["--remote", &addr, "--alpha", "0.1"])), 2);
+
+        for p in [&net, &tree] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_rejects_non_segment_inputs() {
+        let dir = std::env::temp_dir().join("tc_cli_serve_reject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("sr.dbnet");
+        let tree_txt = dir.join("sr.tct");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+        assert_eq!(
+            generate(&strs(&["--kind", "planted", "--out", &s(&net)])),
+            0
+        );
+        assert_eq!(index(&strs(&[&s(&net), "--out", &s(&tree_txt)])), 0);
+        // Text tree, network file, missing file: all refused up front.
+        assert_eq!(serve(&strs(&[&s(&tree_txt)])), 2);
+        assert_eq!(serve(&strs(&[&s(&net)])), 2);
+        assert_eq!(serve(&strs(&["/nonexistent/tree.seg"])), 2);
+        assert_eq!(serve(&strs(&[])), 2);
+        for p in [&net, &tree_txt] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

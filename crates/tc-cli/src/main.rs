@@ -6,11 +6,15 @@
 //! tc mine    <net> --alpha F [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]
 //! tc index   <net> --out tree.tct|tree.seg [--threads N] [--format auto|text|seg]
 //! tc query   <tree> [--alpha F] [--pattern i1,i2,…] [--network net]
+//! tc query   --remote host:port [--alpha F] [--pattern i1,i2,…] [--network net]
+//! tc serve   <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]
 //! tc convert <in> <out> [--to auto|text|seg]
 //! ```
 //!
 //! Network and tree arguments accept both the text formats and the binary
-//! segment format; readers auto-detect by magic bytes.
+//! segment format; readers auto-detect by magic bytes. `tc serve` opens a
+//! segment tree once and answers queries over TCP (see `crates/tc-serve`);
+//! `tc query --remote` asks such a daemon instead of a local file.
 
 mod commands;
 
@@ -22,6 +26,7 @@ fn main() {
         Some("mine") => commands::mine(&args[1..]),
         Some("index") => commands::index(&args[1..]),
         Some("query") => commands::query(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
         Some("convert") => commands::convert(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -46,13 +51,18 @@ USAGE:
   tc mine     <net> --alpha <F> [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]
   tc index    <net> --out <tree.tct|tree.seg> [--threads N] [--format auto|text|seg]
   tc query    <tree> [--alpha F] [--pattern items] [--network net]
+  tc query    --remote <host:port> [--alpha F] [--pattern items] [--network net]
+  tc serve    <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]
   tc convert  <in> <out> [--to auto|text|seg]
 
 Readers auto-detect the text formats (dbnet/tctree) and the binary
 segment format (.seg) by magic bytes; --format auto writes a segment
-when the output path ends in .seg. --threads > 1 mines with the
-work-stealing TCFI variant and builds the index with parallel layer
-fan-out; results are identical at every thread count.
+when the output path ends in .seg. --threads defaults to every core
+(mine with >1 thread uses the work-stealing TCFI variant, index the
+parallel layer fan-out); results are identical at every thread count.
+tc serve answers QBA/QBP over TCP with bounded admission (connections
+beyond --max-inflight get a BUSY greeting); stop it with SIGTERM or a
+client's SHUTDOWN verb.
 
 EXAMPLES:
   tc generate --kind coauthor --out aminer.dbnet
@@ -60,6 +70,8 @@ EXAMPLES:
   tc index aminer.dbnet --out aminer.seg --format seg
   tc query aminer.seg --alpha 0.2
   tc query aminer.seg --pattern 'data mining,sequential pattern' --network aminer.dbnet
+  tc serve aminer.seg --addr 127.0.0.1:7641 --workers 4 --max-inflight 64
+  tc query --remote 127.0.0.1:7641 --alpha 0.2
   tc convert aminer.dbnet aminer.seg"
     );
 }

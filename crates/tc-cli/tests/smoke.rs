@@ -236,6 +236,168 @@ fn thread_matrix_is_deterministic() {
 }
 
 #[test]
+fn serve_daemon_round_trip() {
+    // The daemon path end to end, exactly as the CI serve-smoke job runs
+    // it: spawn `tc serve` on an ephemeral port, learn the port from the
+    // listening line, drive it with `tc query --remote`, compare the
+    // truss listing byte-for-byte against the local query, overload it
+    // into a BUSY, and shut it down cleanly via the protocol.
+    use std::io::{BufRead, BufReader};
+
+    let scratch = Scratch::new("serve");
+    let net = scratch.path("net.dbnet");
+    let tree_seg = scratch.path("tree.seg");
+    let out = tc(&[
+        "generate", "--kind", "planted", "--out", &net, "--seed", "7",
+    ]);
+    assert_success(&out, "tc generate");
+    let out = tc(&["index", &net, "--out", &tree_seg, "--format", "seg"]);
+    assert_success(&out, "tc index --format seg");
+
+    // Port 0: the daemon prints the resolved address on its first line
+    // ("tc-serve listening on <addr> …"). Kill-on-drop: a failing assert
+    // below must not orphan the daemon (it would hold the test harness's
+    // output pipe open forever).
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let mut daemon = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_tc"))
+            .args([
+                "serve",
+                &tree_seg,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--max-inflight",
+                "1",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn tc serve"),
+    );
+    let mut daemon_stdout = BufReader::new(daemon.0.stdout.take().expect("daemon stdout"));
+    let mut line = String::new();
+    daemon_stdout
+        .read_line(&mut line)
+        .expect("read listening line");
+    assert!(
+        line.starts_with("tc-serve listening on "),
+        "malformed listening line: {line}"
+    );
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("malformed listening line: {line}"))
+        .to_string();
+
+    // Remote truss listing must match the local one byte for byte.
+    let trusses = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("  "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let local = stdout(&tc(&["query", &tree_seg, "--alpha", "0.1"]));
+    let out = tc(&["query", "--remote", &addr, "--alpha", "0.1"]);
+    assert_success(&out, "tc query --remote");
+    assert_eq!(
+        trusses(&local),
+        trusses(&stdout(&out)),
+        "remote and local answers differ:\n{local}\n---\n{}",
+        stdout(&out)
+    );
+    assert!(!trusses(&local).is_empty(), "query must retrieve something");
+    let local = stdout(&tc(&[
+        "query",
+        &tree_seg,
+        "--pattern",
+        "0,1",
+        "--network",
+        &net,
+    ]));
+    let out = tc(&[
+        "query",
+        "--remote",
+        &addr,
+        "--pattern",
+        "0,1",
+        "--network",
+        &net,
+    ]);
+    assert_success(&out, "tc query --remote --pattern");
+    assert_eq!(trusses(&local), trusses(&stdout(&out)));
+
+    // Overload: hold the single admission slot with a raw connection and
+    // watch the next client get an explicit BUSY (exit 2, no hang).
+    let holder = std::net::TcpStream::connect(&addr).expect("holder connect");
+    let mut greeting = String::new();
+    BufReader::new(holder.try_clone().expect("clone holder"))
+        .read_line(&mut greeting)
+        .expect("holder greeting");
+    assert!(greeting.contains(" OK "), "holder not admitted: {greeting}");
+    let out = tc(&["query", "--remote", &addr, "--alpha", "0.1"]);
+    assert_eq!(out.status.code(), Some(2), "overload must fail fast");
+    assert!(
+        stderr(&out).contains("busy"),
+        "overload diagnostic should say busy:\n{}",
+        stderr(&out)
+    );
+    drop(holder);
+
+    // Released slot readmits (poll briefly: the server notices the
+    // disconnect at its next read tick), then SHUTDOWN stops the daemon.
+    let mut readmitted = false;
+    for _ in 0..100 {
+        let out = tc(&["query", "--remote", &addr, "--alpha", "0.1"]);
+        if out.status.success() {
+            readmitted = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(readmitted, "slot never freed after holder disconnect");
+
+    let mut shutdown = std::net::TcpStream::connect(&addr).expect("shutdown connect");
+    let mut reader = BufReader::new(shutdown.try_clone().expect("clone shutdown"));
+    line.clear();
+    reader.read_line(&mut line).expect("shutdown greeting");
+    std::io::Write::write_all(&mut shutdown, b"SHUTDOWN\n").expect("send SHUTDOWN");
+    line.clear();
+    reader.read_line(&mut line).expect("read BYE");
+    assert_eq!(line.trim_end(), "BYE");
+
+    let status = daemon.0.wait().expect("daemon exit");
+    assert!(status.success(), "daemon must exit 0 on SHUTDOWN: {status}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut daemon_stdout, &mut rest).expect("drain daemon stdout");
+    assert!(
+        rest.contains("shutdown complete"),
+        "daemon should print its final counters:\n{rest}"
+    );
+    assert!(
+        rest.contains("busy-rejected"),
+        "final counters should include admission telemetry:\n{rest}"
+    );
+}
+
+#[test]
+fn unknown_flags_fail_with_a_suggestion() {
+    let out = tc(&["mine", "net.dbnet", "--thread", "8"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("did you mean --threads"),
+        "typo diagnostic:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn help_and_error_paths() {
     // --help prints usage and succeeds.
     let out = tc(&["--help"]);

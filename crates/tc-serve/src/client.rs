@@ -1,0 +1,245 @@
+//! A blocking client for the [`crate::protocol`] — the library behind
+//! `tc query --remote`, the `serve_bench` sweep, and the CI smoke driver.
+//!
+//! One [`ServeClient`] owns one TCP session: requests are issued
+//! sequentially, responses are parsed into the same shapes the server
+//! encodes, and a `BUSY` greeting surfaces as [`ClientError::Busy`] so
+//! callers can implement retry/backoff without string matching.
+
+use crate::protocol::{parse_greeting, Greeting, QueryResponse, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side failures, split by who caused them.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server rejected the connection under admission control.
+    Busy(String),
+    /// The server answered, but not in the protocol this client speaks.
+    Protocol(String),
+    /// The server reported a request-level error (`ERR …`).
+    Remote(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Busy(r) => write!(f, "server busy: {r}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// `true` when the failure is an admission-control rejection — the
+    /// retryable case.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy(_))
+    }
+}
+
+/// A remote query answer (the wire form plus nothing else — item-name
+/// rendering is the caller's job, exactly as with a local query).
+pub type RemoteResult = QueryResponse;
+
+/// One blocking protocol session.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    nodes: usize,
+    alpha_star: f64,
+    version: u32,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (`host:port`) and reads the greeting.
+    ///
+    /// A `BUSY` greeting returns [`ClientError::Busy`]; any non-protocol
+    /// payload on the port returns [`ClientError::Protocol`].
+    pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A daemon that stops mid-handshake must not hang the client. The
+        // timeout guards the greeting only: it is cleared once admitted,
+        // because a legitimately expensive query (cold full-tree QBA on a
+        // big segment) may take arbitrarily long server-side.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection before greeting".into(),
+            ));
+        }
+        reader.get_ref().set_read_timeout(None)?;
+        match parse_greeting(&line).map_err(ClientError::Protocol)? {
+            Greeting::Admitted {
+                version,
+                nodes,
+                alpha_star,
+            } => Ok(ServeClient {
+                reader,
+                nodes,
+                alpha_star,
+                version,
+            }),
+            Greeting::Busy { reason, .. } => Err(ClientError::Busy(reason)),
+        }
+    }
+
+    /// Protocol version the server greeted with.
+    pub fn server_version(&self) -> u32 {
+        self.version
+    }
+
+    /// `num_nodes()` of the served tree, from the greeting.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// `alpha_upper_bound()` of the served tree, from the greeting.
+    pub fn alpha_star(&self) -> f64 {
+        self.alpha_star
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let mut line = req.encode();
+        line.push('\n');
+        self.reader.get_ref().write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection mid-response".into(),
+            ));
+        }
+        Ok(line)
+    }
+
+    fn roundtrip_query(&mut self, req: &Request) -> Result<RemoteResult, ClientError> {
+        self.send(req)?;
+        let header = self.read_line()?;
+        let (count, visited, elapsed_secs) = QueryResponse::parse_tab_header(&header)
+            .map_err(|m| classify_header_error(&header, m))?;
+        let mut trusses = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
+            trusses.push(QueryResponse::parse_tab_truss(&line).map_err(ClientError::Protocol)?);
+        }
+        Ok(QueryResponse {
+            retrieved: count,
+            visited,
+            elapsed_secs,
+            trusses,
+        })
+    }
+
+    /// Query-by-alpha: `QBA <alpha>`.
+    pub fn qba(&mut self, alpha: f64) -> Result<RemoteResult, ClientError> {
+        self.roundtrip_query(&Request::Qba { alpha, json: false })
+    }
+
+    /// Query-by-pattern: `QBP <items>`.
+    pub fn qbp(&mut self, items: &[u32]) -> Result<RemoteResult, ClientError> {
+        self.roundtrip_query(&Request::Qbp {
+            items: items.to_vec(),
+            json: false,
+        })
+    }
+
+    /// The general query: `QUERY <items> <alpha>`.
+    pub fn query(&mut self, items: &[u32], alpha: f64) -> Result<RemoteResult, ClientError> {
+        self.roundtrip_query(&Request::Query {
+            items: items.to_vec(),
+            alpha,
+            json: false,
+        })
+    }
+
+    /// Server counters: `STATS`, as ordered `(key, value)` rows.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        self.send(&Request::Stats { json: false })?;
+        let header = self.read_line()?;
+        let fields: Vec<&str> = header.trim_end().split('\t').collect();
+        let count: usize = match fields.as_slice() {
+            ["OK", n] => n
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad stats count '{n}'")))?,
+            _ => return Err(classify_header_error(&header, String::new())),
+        };
+        let mut rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
+            let (k, v) = line
+                .trim_end()
+                .split_once('\t')
+                .ok_or_else(|| ClientError::Protocol(format!("bad stats row '{line}'")))?;
+            let v: u64 = v
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad stats value '{line}'")))?;
+            rows.push((k.to_string(), v));
+        }
+        Ok(rows)
+    }
+
+    /// Ends the session politely (`QUIT`, await `BYE`). Dropping the
+    /// client without calling this is also fine — the server treats EOF
+    /// as QUIT.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Quit)?;
+        self.expect_bye()
+    }
+
+    /// Asks the daemon to stop (`SHUTDOWN`, await `BYE`).
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        self.expect_bye()
+    }
+
+    fn expect_bye(&mut self) -> Result<(), ClientError> {
+        let line = self.read_line()?;
+        if line.trim_end() == "BYE" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected BYE, got '{}'",
+                line.trim_end()
+            )))
+        }
+    }
+}
+
+/// Distinguishes a server-reported `ERR` from a malformed frame.
+fn classify_header_error(header: &str, parse_msg: String) -> ClientError {
+    match header.trim_end().strip_prefix("ERR\t") {
+        Some(msg) => ClientError::Remote(format!("server error: {msg}")),
+        None if parse_msg.starts_with("server error") => ClientError::Remote(parse_msg),
+        None => ClientError::Protocol(if parse_msg.is_empty() {
+            format!("malformed response header '{}'", header.trim_end())
+        } else {
+            parse_msg
+        }),
+    }
+}

@@ -1,0 +1,60 @@
+//! `tc-serve` — the TCP query-serving daemon for TC-Tree segments.
+//!
+//! The ROADMAP's query-serving item graduates here from an in-process
+//! simulation (`throughput_bench`'s serving section) to a real network
+//! service: a daemon opens a [`tc_store::SegmentTcTree`] once and answers
+//! the paper's QBA / QBP / general `(q, α)` queries (Algorithm 5) over a
+//! line-oriented TCP protocol, `std::net` only.
+//!
+//! * [`protocol`] — the wire grammar: versioned greeting, the
+//!   `QBA`/`QBP`/`QUERY`/`STATS`/`QUIT`/`SHUTDOWN` verbs, tab-separated
+//!   and JSON response encodings, parsers for both directions;
+//! * [`server`] — the daemon: a worker pool with **bounded admission**
+//!   (`max_inflight` sessions; overload is answered with an explicit
+//!   `BUSY` greeting, never unbounded queueing), per-verb counters, and
+//!   graceful shutdown on SIGTERM / the `SHUTDOWN` verb;
+//! * [`client`] — a blocking session client, reused by
+//!   `tc query --remote`, `tc-bench`'s `serve_bench` sweep, and CI.
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use tc_core::DatabaseNetworkBuilder;
+//! use tc_index::TcTreeBuilder;
+//! use tc_serve::{ServeClient, ServeConfig, Server};
+//! use tc_store::SegmentTcTree;
+//!
+//! // A tiny tree, served from memory on an ephemeral loopback port.
+//! let mut b = DatabaseNetworkBuilder::new();
+//! let beer = b.intern_item("beer");
+//! for v in 0..3u32 {
+//!     for _ in 0..4 {
+//!         b.add_transaction(v, &[beer]);
+//!     }
+//! }
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! let tree = TcTreeBuilder::default().build(&b.build().unwrap());
+//! let mut bytes = Vec::new();
+//! tc_store::save_tree_segment(&tree, &mut bytes).unwrap();
+//! let seg = SegmentTcTree::from_bytes(bytes).unwrap();
+//!
+//! let server = Server::bind(seg, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap().to_string();
+//! let daemon = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = ServeClient::connect(&addr).unwrap();
+//! let answer = client.qba(0.0).unwrap();
+//! assert_eq!(answer.retrieved, tree.query_by_alpha(0.0).retrieved_nodes);
+//! client.shutdown_server().unwrap();
+//! daemon.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, RemoteResult, ServeClient};
+pub use protocol::{Greeting, QueryResponse, Request, TrussSummary, PROTOCOL_VERSION};
+pub use server::{install_signal_handlers, ServeConfig, Server, ServerHandle, StatsSnapshot};

@@ -1,0 +1,504 @@
+//! The serving daemon: a bounded-admission worker pool answering the
+//! [`crate::protocol`] over TCP, straight off a lazily-materialised
+//! [`SegmentTcTree`].
+//!
+//! ## Admission control
+//!
+//! The accept loop is the *only* place connections queue, and the queue
+//! is bounded by `max_inflight` — the number of sessions admitted but not
+//! yet finished (queued + being served). A connection arriving over the
+//! limit is answered with a one-line `BUSY` greeting and closed
+//! immediately: overload degrades into explicit, cheap rejections the
+//! client can retry, never into unbounded queueing or silent hangs.
+//!
+//! ## Shutdown
+//!
+//! Shutdown is requested by the `SHUTDOWN` verb, by
+//! [`ServerHandle::shutdown`], or — in the `tc serve` binary — by
+//! SIGTERM/SIGINT via [`install_signal_handlers`]. The accept loop stops
+//! admitting, in-flight sessions notice the flag at their next request
+//! boundary (socket reads time out every [`READ_TICK`]), queued-but-
+//! unserved sessions are drained the same way, and [`Server::run`]
+//! returns once every worker has parked. No connection is ever answered
+//! partially: a response line is written whole or not at all.
+
+use crate::protocol::{
+    encode_error, encode_greeting_busy, encode_greeting_ok, encode_stats, QueryResponse, Request,
+};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tc_store::SegmentTcTree;
+use tc_txdb::{Item, Pattern};
+
+/// How often blocked socket reads and queue waits wake to re-check the
+/// shutdown flag — the upper bound on shutdown latency per session.
+pub const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Accept-loop poll interval while the listener is idle.
+const ACCEPT_TICK: Duration = Duration::from_millis(20);
+
+/// Server configuration. `Default` matches the `tc serve` CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving admitted sessions.
+    pub workers: usize,
+    /// Maximum admitted-but-unfinished sessions (queued + in service);
+    /// connections beyond it are greeted `BUSY` and closed.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Monotonic per-verb and admission counters, surfaced by `STATS`.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_busy: AtomicU64,
+    qba: AtomicU64,
+    qbp: AtomicU64,
+    query: AtomicU64,
+    stats: AtomicU64,
+    protocol_errors: AtomicU64,
+    query_failures: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted (admitted + rejected).
+    pub accepted: u64,
+    /// Sessions admitted past admission control.
+    pub admitted: u64,
+    /// Connections rejected with a `BUSY` greeting.
+    pub rejected_busy: u64,
+    /// `QBA` requests served.
+    pub qba: u64,
+    /// `QBP` requests served.
+    pub qbp: u64,
+    /// `QUERY` requests served.
+    pub query: u64,
+    /// `STATS` requests served.
+    pub stats: u64,
+    /// Requests rejected as malformed (`ERR` responses to parse errors).
+    pub protocol_errors: u64,
+    /// Queries that failed server-side (e.g. segment corruption).
+    pub query_failures: u64,
+    /// Sessions admitted but not yet finished, at snapshot time.
+    pub inflight: u64,
+}
+
+impl StatsSnapshot {
+    /// Total query-verb requests served (`QBA` + `QBP` + `QUERY`).
+    pub fn queries_served(&self) -> u64 {
+        self.qba + self.qbp + self.query
+    }
+}
+
+/// Shared server state: the tree, the bounded session queue, counters.
+struct Inner {
+    tree: SegmentTcTree,
+    cfg: ServeConfig,
+    counters: Counters,
+    /// Admitted-but-unfinished session count — the admission gauge.
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+/// A clonable remote control for a running [`Server`] — lets tests and
+/// embedding binaries request shutdown and read counters from outside
+/// the accept loop.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown; [`Server::run`] returns once
+    /// in-flight sessions finish.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+impl Inner {
+    fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        StatsSnapshot {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
+            qba: c.qba.load(Ordering::Relaxed),
+            qbp: c.qbp.load(Ordering::Relaxed),
+            query: c.query.load(Ordering::Relaxed),
+            stats: c.stats.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            query_failures: c.query_failures.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::SeqCst) as u64,
+        }
+    }
+}
+
+/// The TCP query-serving daemon over one [`SegmentTcTree`].
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7641`; port `0` picks an ephemeral
+    /// port — read it back with [`Server::local_addr`]) and prepares the
+    /// daemon. Serving starts when [`Server::run`] is called.
+    pub fn bind(tree: SegmentTcTree, addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        if cfg.workers == 0 || cfg.max_inflight == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "workers and max-inflight must be at least 1",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                tree,
+                cfg,
+                counters: Counters::default(),
+                inflight: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound socket address (resolves port `0` bindings).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control valid for the lifetime of the daemon.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown is
+    /// requested, then drains in-flight sessions and returns the final
+    /// counter snapshot.
+    pub fn run(self) -> std::io::Result<StatsSnapshot> {
+        let workers: Vec<_> = (0..self.inner.cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&self.inner);
+                std::thread::Builder::new()
+                    .name(format!("tc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        while !self.inner.shutdown.load(Ordering::SeqCst) && !signal_received() {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Tear the pool down before surfacing the error.
+                    self.inner.shutdown.store(true, Ordering::SeqCst);
+                    self.inner.queue_cv.notify_all();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(self.inner.snapshot())
+    }
+
+    /// Admission control: enqueue within the inflight budget, reject with
+    /// a `BUSY` greeting beyond it.
+    fn admit(&self, mut stream: TcpStream) {
+        let inner = &self.inner;
+        inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let admitted = inner
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < inner.cfg.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            inner.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            // Best effort: the client may already be gone.
+            let _ = stream.write_all(
+                encode_greeting_busy(&format!(
+                    "inflight limit ({}) reached, retry later",
+                    inner.cfg.max_inflight
+                ))
+                .as_bytes(),
+            );
+            return; // dropping the stream closes it
+        }
+        // Re-check the shutdown flag *under the queue lock*: workers decide
+        // to exit under this lock (queue empty && shutdown), so a push that
+        // observes the flag unset here is guaranteed a worker will drain it
+        // — without this, a SHUTDOWN landing between the accept-loop check
+        // and the push could orphan the connection and leak the inflight
+        // gauge.
+        let mut queue = self.inner.queue.lock().expect("queue poisoned");
+        if inner.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            inner.inflight.fetch_sub(1, Ordering::SeqCst);
+            inner.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.write_all(encode_greeting_busy("server shutting down").as_bytes());
+            return;
+        }
+        inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(stream);
+        drop(queue);
+        inner.queue_cv.notify_one();
+    }
+}
+
+/// Decrements the inflight gauge when a session ends, panic-safe.
+struct InflightGuard<'a>(&'a Inner);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = inner
+                    .queue_cv
+                    .wait_timeout(queue, READ_TICK)
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else {
+            // Shutdown with an empty queue: even sessions admitted after
+            // the flag flipped have been drained (flag is checked only
+            // under the same lock the acceptor pushes under).
+            return;
+        };
+        let _guard = InflightGuard(inner);
+        // Socket errors end the session; the next connection is unaffected.
+        let _ = serve_session(inner, stream);
+    }
+}
+
+/// What a request handler asks the session loop to do next.
+enum SessionFlow {
+    Continue,
+    Close,
+}
+
+fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    stream.write_all(
+        encode_greeting_ok(inner.tree.num_nodes(), inner.tree.alpha_upper_bound()).as_bytes(),
+    )?;
+
+    let mut line = String::new();
+    loop {
+        // A read timeout only re-checks the shutdown flag; partial bytes
+        // already appended to `line` survive the retry.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue; // blank keep-alive lines are not a protocol error
+        }
+        let flow = match Request::parse(&line) {
+            Ok(req) => handle_request(inner, &req, &mut stream)?,
+            Err(msg) => {
+                inner
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                stream.write_all(encode_error(&msg, false).as_bytes())?;
+                SessionFlow::Continue
+            }
+        };
+        line.clear();
+        if matches!(flow, SessionFlow::Close) {
+            return Ok(());
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(
+    inner: &Inner,
+    req: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<SessionFlow> {
+    let c = &inner.counters;
+    let (result, json) = match req {
+        Request::Qba { alpha, json } => {
+            c.qba.fetch_add(1, Ordering::Relaxed);
+            (inner.tree.query_by_alpha(*alpha), *json)
+        }
+        Request::Qbp { items, json } => {
+            c.qbp.fetch_add(1, Ordering::Relaxed);
+            (inner.tree.query_by_pattern(&pattern_of(items)), *json)
+        }
+        Request::Query { items, alpha, json } => {
+            c.query.fetch_add(1, Ordering::Relaxed);
+            (inner.tree.query(&pattern_of(items), *alpha), *json)
+        }
+        Request::Stats { json } => {
+            c.stats.fetch_add(1, Ordering::Relaxed);
+            let s = inner.snapshot();
+            let rows = [
+                ("protocol_version", u64::from(crate::PROTOCOL_VERSION)),
+                ("nodes", inner.tree.num_nodes() as u64),
+                ("materialized_nodes", inner.tree.materialized_nodes() as u64),
+                ("workers", inner.cfg.workers as u64),
+                ("max_inflight", inner.cfg.max_inflight as u64),
+                ("inflight", s.inflight),
+                ("accepted", s.accepted),
+                ("admitted", s.admitted),
+                ("rejected_busy", s.rejected_busy),
+                ("qba", s.qba),
+                ("qbp", s.qbp),
+                ("query", s.query),
+                ("stats", s.stats),
+                ("protocol_errors", s.protocol_errors),
+                ("query_failures", s.query_failures),
+            ];
+            stream.write_all(encode_stats(&rows, *json).as_bytes())?;
+            return Ok(SessionFlow::Continue);
+        }
+        Request::Quit => {
+            stream.write_all(b"BYE\n")?;
+            return Ok(SessionFlow::Close);
+        }
+        Request::Shutdown => {
+            stream.write_all(b"BYE\n")?;
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.queue_cv.notify_all();
+            return Ok(SessionFlow::Close);
+        }
+    };
+    match result {
+        Ok(r) => {
+            let resp = QueryResponse::from_result(&r);
+            let frame = if json {
+                resp.encode_json()
+            } else {
+                resp.encode_tab()
+            };
+            stream.write_all(frame.as_bytes())?;
+        }
+        Err(e) => {
+            // A failed query (segment corruption discovered lazily) is an
+            // ERR to this client, not a daemon crash.
+            c.query_failures.fetch_add(1, Ordering::Relaxed);
+            stream.write_all(encode_error(&e.to_string(), json).as_bytes())?;
+        }
+    }
+    Ok(SessionFlow::Continue)
+}
+
+fn pattern_of(items: &[u32]) -> Pattern {
+    Pattern::new(items.iter().map(|&i| Item(i)).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Signal plumbing: SIGTERM/SIGINT flip a global flag the accept loop
+// polls. Only the `tc serve` binary installs the handlers; library users
+// and tests drive shutdown via ServerHandle / the SHUTDOWN verb.
+// ---------------------------------------------------------------------------
+
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+fn signal_received() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Routes SIGTERM and SIGINT into a graceful shutdown of every
+/// [`Server::run`] loop in the process. Call once, before `run`.
+///
+/// Uses the C `signal(2)` entry point directly — the workspace vendors
+/// its dependencies and has no `libc` crate, but every supported target
+/// already links the C runtime through `std`.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// No-op off Unix: rely on process teardown.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}

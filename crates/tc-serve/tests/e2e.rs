@@ -1,0 +1,297 @@
+//! End-to-end daemon tests over real loopback sockets: correctness
+//! against the in-memory tree, admission control, concurrent clients,
+//! protocol errors, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use tc_data::{generate_coauthor, CoauthorConfig};
+use tc_index::{TcTree, TcTreeBuilder};
+use tc_serve::{ServeClient, ServeConfig, Server, ServerHandle};
+use tc_store::SegmentTcTree;
+use tc_txdb::Pattern;
+
+fn sample_tree() -> TcTree {
+    let net = generate_coauthor(&CoauthorConfig {
+        groups: 3,
+        authors_per_group: 8,
+        seed: 11,
+        ..CoauthorConfig::default()
+    })
+    .network;
+    TcTreeBuilder::default().build(&net)
+}
+
+fn segment_of(tree: &TcTree) -> SegmentTcTree {
+    let mut bytes = Vec::new();
+    tc_store::save_tree_segment(tree, &mut bytes).unwrap();
+    SegmentTcTree::from_bytes(bytes).unwrap()
+}
+
+/// Starts a daemon on an ephemeral port; returns the address, the remote
+/// control, and the join handle for `run()`.
+fn spawn_server(
+    tree: &TcTree,
+    cfg: ServeConfig,
+) -> (
+    String,
+    ServerHandle,
+    std::thread::JoinHandle<tc_serve::StatsSnapshot>,
+) {
+    let server = Server::bind(segment_of(tree), "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+fn truss_key(items: &[u32], vertices: usize, edges: usize) -> (Vec<u32>, usize, usize) {
+    (items.to_vec(), vertices, edges)
+}
+
+#[test]
+fn remote_answers_equal_local_queries() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(&tree, ServeConfig::default());
+    let mut client = ServeClient::connect(&addr).unwrap();
+    assert_eq!(client.nodes(), tree.num_nodes());
+    assert_eq!(client.server_version(), tc_serve::PROTOCOL_VERSION);
+
+    // QBA at a sweep of thresholds.
+    let bound = client.alpha_star();
+    for i in 0..6 {
+        let alpha = bound * i as f64 / 5.0;
+        let remote = client.qba(alpha).unwrap();
+        let local = tree.query_by_alpha(alpha);
+        assert_eq!(remote.retrieved, local.retrieved_nodes, "alpha={alpha}");
+        assert_eq!(remote.visited, local.visited_nodes, "alpha={alpha}");
+        let got: Vec<_> = remote
+            .trusses
+            .iter()
+            .map(|t| truss_key(&t.items, t.vertices, t.edges))
+            .collect();
+        let want: Vec<_> = local
+            .trusses
+            .iter()
+            .map(|t| {
+                truss_key(
+                    &t.pattern.iter().map(|i| i.0).collect::<Vec<_>>(),
+                    t.num_vertices(),
+                    t.num_edges(),
+                )
+            })
+            .collect();
+        assert_eq!(got, want, "alpha={alpha}");
+    }
+
+    // QBP and QUERY on every node pattern of the tree.
+    for id in 1..=tree.num_nodes() as u32 {
+        let q = tree.node(id).pattern.clone();
+        let ids: Vec<u32> = q.iter().map(|i| i.0).collect();
+        let remote = client.qbp(&ids).unwrap();
+        let local = tree.query_by_pattern(&q);
+        assert_eq!(remote.retrieved, local.retrieved_nodes, "q={q}");
+        let remote = client.query(&ids, bound / 2.0).unwrap();
+        let local = tree.query(&q, bound / 2.0);
+        assert_eq!(remote.retrieved, local.retrieved_nodes, "q={q}");
+    }
+
+    // Empty pattern: QBP over `-`.
+    let remote = client.qbp(&[]).unwrap();
+    let local = tree.query_by_pattern(&Pattern::empty());
+    assert_eq!(remote.retrieved, local.retrieved_nodes);
+
+    client.quit().unwrap();
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.rejected_busy, 0);
+    assert!(stats.qba >= 6 && stats.qbp >= 1 && stats.query >= 1);
+}
+
+#[test]
+fn overload_yields_busy_and_slot_frees_on_disconnect() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(
+        &tree,
+        ServeConfig {
+            workers: 1,
+            max_inflight: 1,
+        },
+    );
+
+    // Occupy the only admission slot with a live session.
+    let mut holder = ServeClient::connect(&addr).unwrap();
+    holder.qba(0.0).unwrap();
+
+    // The next connection must be rejected with BUSY, not queued.
+    match ServeClient::connect(&addr) {
+        Err(e) if e.is_busy() => {}
+        Err(e) => panic!("expected BUSY, got error {e}"),
+        Ok(_) => panic!("expected BUSY, got admitted"),
+    }
+
+    // Releasing the slot re-opens admission (poll: the server notices the
+    // disconnect at its next read tick).
+    holder.quit().unwrap();
+    let mut admitted = None;
+    for _ in 0..100 {
+        match ServeClient::connect(&addr) {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(e) if e.is_busy() => std::thread::sleep(std::time::Duration::from_millis(20)),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let mut client = admitted.expect("slot never freed after QUIT");
+    client.qba(0.0).unwrap();
+
+    let stats_rows = client.stats().unwrap();
+    let get = |key: &str| {
+        stats_rows
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing stats key {key}"))
+            .1
+    };
+    assert!(get("rejected_busy") >= 1, "busy rejection not counted");
+    assert_eq!(get("max_inflight"), 1);
+    assert_eq!(get("inflight"), 1, "only this session should be admitted");
+
+    client.quit().unwrap();
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert!(stats.rejected_busy >= 1);
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(
+        &tree,
+        ServeConfig {
+            workers: 4,
+            max_inflight: 32,
+        },
+    );
+    let bound = segment_of(&tree).alpha_upper_bound();
+    let expected: Vec<usize> = (0..4)
+        .map(|i| tree.query_by_alpha(bound * i as f64 / 4.0).retrieved_nodes)
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (addr, expected) = (&addr, &expected);
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                for round in 0..20 {
+                    let i = round % 4;
+                    let r = client.qba(bound * i as f64 / 4.0).unwrap();
+                    assert_eq!(r.retrieved, expected[i]);
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.queries_served(), 8 * 20);
+    assert_eq!(stats.admitted, 8);
+}
+
+#[test]
+fn protocol_errors_keep_the_session_alive() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(&tree, ServeConfig::default());
+
+    // Raw socket: drive the wire by hand.
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    assert!(line.starts_with("TCSERVE"), "{line}");
+
+    let mut stream = stream;
+    for bad in ["FROB\n", "QBA notanumber\n", "QBA -1\n", "QUERY 1,2\n"] {
+        stream.write_all(bad.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR\t"), "request {bad:?} -> {line}");
+    }
+
+    // The session still works after the errors.
+    stream.write_all(b"QBA 0.0\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK\t"), "{line}");
+    let (count, _, _) = tc_serve::QueryResponse::parse_tab_header(&line).unwrap();
+    for _ in 0..count {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+    }
+
+    // JSON mode answers a single JSON line.
+    stream.write_all(b"QBA 0.0 JSON\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("{\"status\":\"ok\""), "{line}");
+    stream.write_all(b"STATS JSON\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"protocol_errors\":4"), "{line}");
+
+    stream.write_all(b"QUIT\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "BYE");
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.protocol_errors, 4);
+}
+
+#[test]
+fn shutdown_verb_stops_the_daemon() {
+    let tree = sample_tree();
+    let (addr, _handle, join) = spawn_server(&tree, ServeConfig::default());
+    let client = ServeClient::connect(&addr).unwrap();
+    client.shutdown_server().unwrap();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.admitted, 1);
+    // The port is closed: a fresh connect must fail (or be reset before a
+    // greeting arrives).
+    assert!(
+        ServeClient::connect(&addr).is_err(),
+        "daemon still serving after SHUTDOWN"
+    );
+}
+
+#[test]
+fn handle_shutdown_drains_inflight_sessions() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(&tree, ServeConfig::default());
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.qba(0.0).unwrap();
+    handle.shutdown();
+    assert!(handle.is_shutting_down());
+    // run() returns even though this session never sent QUIT.
+    join.join().unwrap();
+    // The held session is now dead: the next request fails.
+    assert!(client.qba(0.0).is_err());
+}
+
+#[test]
+fn zero_worker_config_is_rejected() {
+    let tree = sample_tree();
+    let seg = segment_of(&tree);
+    assert!(Server::bind(
+        seg,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 0,
+            max_inflight: 4
+        }
+    )
+    .is_err());
+}

@@ -18,7 +18,7 @@ use std::io::Write;
 use std::path::Path;
 use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder};
 use tc_txdb::Item;
-use tc_util::bytes::{put_u32, put_u64, ByteReader};
+use tc_util::bytes::{checked_len_u32, put_u32, put_u64, ByteReader};
 use tc_util::LoadError;
 
 const SEC_ITEMS: u32 = 1;
@@ -33,10 +33,13 @@ fn corrupt(msg: impl Into<String>) -> LoadError {
 pub fn save_network_segment<W: Write>(network: &DatabaseNetwork, w: &mut W) -> std::io::Result<()> {
     let items_space = network.item_space();
     let mut items = Vec::new();
-    put_u32(&mut items, items_space.len() as u32);
+    put_u32(
+        &mut items,
+        checked_len_u32(items_space.len(), "item count")?,
+    );
     for item in items_space.items() {
         let name = items_space.name(item).unwrap_or("");
-        put_u32(&mut items, name.len() as u32);
+        put_u32(&mut items, checked_len_u32(name.len(), "item name length")?);
         items.extend_from_slice(name.as_bytes());
     }
 
@@ -57,7 +60,7 @@ pub fn save_network_segment<W: Write>(network: &DatabaseNetwork, w: &mut W) -> s
         let db = network.database(v);
         let h = db.num_transactions();
         put_u32(&mut dbs, v);
-        put_u32(&mut dbs, h as u32);
+        put_u32(&mut dbs, checked_len_u32(h, "transaction count")?);
         // Reconstruct horizontal transactions from the tidsets, as the
         // text format does — tid order is normalised, not semantic.
         let mut transactions: Vec<Vec<u32>> = vec![Vec::new(); h];
@@ -71,7 +74,7 @@ pub fn save_network_segment<W: Write>(network: &DatabaseNetwork, w: &mut W) -> s
             }
         }
         for t in transactions {
-            put_u32(&mut dbs, t.len() as u32);
+            put_u32(&mut dbs, checked_len_u32(t.len(), "transaction length")?);
             for id in t {
                 put_u32(&mut dbs, id);
             }
@@ -290,5 +293,42 @@ mod tests {
         let loaded = load_network_segment_from_bytes(&buf).unwrap();
         assert_eq!(loaded.num_vertices(), 3);
         assert_eq!(loaded.num_edges(), 0);
+    }
+
+    #[test]
+    fn zero_vertex_network_roundtrips() {
+        // n = 0 skips the `ensure_vertex(n - 1)` fix-up entirely; the
+        // round trip must not underflow or invent a vertex.
+        let net = DatabaseNetworkBuilder::new().build().unwrap();
+        assert_eq!(net.num_vertices(), 0);
+        let mut buf = Vec::new();
+        save_network_segment(&net, &mut buf).unwrap();
+        let loaded = load_network_segment_from_bytes(&buf).unwrap();
+        assert_eq!(loaded.num_vertices(), 0);
+        assert_eq!(loaded.num_edges(), 0);
+        assert_eq!(loaded.stats(), net.stats());
+        let mut again = Vec::new();
+        save_network_segment(&loaded, &mut again).unwrap();
+        assert_eq!(buf, again, "zero-vertex resave must be byte-identical");
+    }
+
+    #[test]
+    fn zero_db_network_roundtrips() {
+        // Vertices and edges but not a single transaction database: the
+        // DBS section is an empty list, and the trailing vertices only
+        // exist through ensure_vertex on load.
+        let mut b = DatabaseNetworkBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(4); // vertices 2..=4 are isolated *and* database-less
+        let net = b.build().unwrap();
+        let mut buf = Vec::new();
+        save_network_segment(&net, &mut buf).unwrap();
+        let loaded = load_network_segment_from_bytes(&buf).unwrap();
+        assert_eq!(loaded.num_vertices(), 5);
+        assert_eq!(loaded.num_edges(), 1);
+        assert_eq!(loaded.stats().transactions, 0);
+        let mut again = Vec::new();
+        save_network_segment(&loaded, &mut again).unwrap();
+        assert_eq!(buf, again, "zero-db resave must be byte-identical");
     }
 }

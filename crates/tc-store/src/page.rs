@@ -33,7 +33,7 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use tc_util::bytes::{put_u16, put_u32, put_u64, ByteReader};
+use tc_util::bytes::{checked_len_u32, put_u16, put_u32, put_u64, ByteReader};
 use tc_util::{Crc32, LoadError};
 
 /// Bytes per page, header included.
@@ -112,16 +112,31 @@ fn pages_for(byte_len: u64) -> u64 {
 }
 
 /// Encodes one page: length, checksum, payload, zero padding.
-fn encode_page(payload: &[u8]) -> [u8; PAGE_SIZE] {
-    assert!(payload.len() <= PAGE_CAP, "payload exceeds page capacity");
+///
+/// The length field is `u32`, so the payload size goes through a checked
+/// conversion: an oversized payload is a save-time `InvalidInput` error,
+/// never a silently wrapped length that would read back corrupt.
+fn encode_page(payload: &[u8]) -> std::io::Result<[u8; PAGE_SIZE]> {
+    // The capacity check comes first: it subsumes the u32 range (PAGE_CAP
+    // is far below u32::MAX) and names the real limit in its error.
+    if payload.len() > PAGE_CAP {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "page payload of {} bytes exceeds the {PAGE_CAP}-byte page capacity",
+                payload.len()
+            ),
+        ));
+    }
+    let len = checked_len_u32(payload.len(), "page payload length")?;
     let mut page = [0u8; PAGE_SIZE];
-    page[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[..4].copy_from_slice(&len.to_le_bytes());
     page[PAGE_HEADER..PAGE_HEADER + payload.len()].copy_from_slice(payload);
     let mut crc = Crc32::new();
     crc.update(&page[..4]);
     crc.update(&page[PAGE_HEADER..]);
     page[4..8].copy_from_slice(&crc.finish().to_le_bytes());
-    page
+    Ok(page)
 }
 
 /// Writes a complete segment file: header page, then every section chunked
@@ -136,7 +151,10 @@ pub fn write_segment<W: Write>(
     put_u16(&mut header, VERSION);
     put_u16(&mut header, kind.code());
     put_u32(&mut header, PAGE_SIZE as u32);
-    put_u32(&mut header, sections.len() as u32);
+    put_u32(
+        &mut header,
+        checked_len_u32(sections.len(), "section count")?,
+    );
     let mut next_page = 1u64;
     for (id, bytes) in sections {
         put_u32(&mut header, *id);
@@ -149,11 +167,11 @@ pub fn write_segment<W: Write>(
     assert!(header.len() <= PAGE_CAP, "header exceeds one page");
 
     let mut w = std::io::BufWriter::new(w);
-    w.write_all(&encode_page(&header))?;
+    w.write_all(&encode_page(&header)?)?;
     // An empty section spans zero pages; the header records byte_len 0.
     for (_, bytes) in sections {
         for chunk in bytes.chunks(PAGE_CAP) {
-            w.write_all(&encode_page(chunk))?;
+            w.write_all(&encode_page(chunk)?)?;
         }
     }
     w.flush()
@@ -476,6 +494,17 @@ mod tests {
                 "truncation to {cut} bytes accepted"
             );
         }
+    }
+
+    #[test]
+    fn oversized_page_payload_is_a_save_time_error_not_a_wrap() {
+        // Regression: the length field used to be written with a bare
+        // `as u32`; an oversized payload must now surface as InvalidInput
+        // at save time, never as a wrapped length read back corrupt.
+        let err = encode_page(&vec![0u8; PAGE_CAP + 1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("page capacity"), "{err}");
+        assert_eq!(encode_page(&vec![7u8; PAGE_CAP]).unwrap().len(), PAGE_SIZE);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::sync::OnceLock;
 use tc_core::{TrussDecomposition, TrussLevel};
 use tc_index::{QueryResult, TcNode, TcTree};
 use tc_txdb::{Item, Pattern};
-use tc_util::bytes::{put_f64, put_u32, put_u64, ByteReader};
+use tc_util::bytes::{checked_len_u32, put_f64, put_u32, put_u64, ByteReader};
 use tc_util::{float, LoadError, Stopwatch};
 
 const SEC_NODES: u32 = 1;
@@ -41,7 +41,10 @@ pub fn save_tree_segment<W: Write>(tree: &TcTree, w: &mut W) -> std::io::Result<
         let blob_off = levels.len() as u64;
         for level in &node.truss.levels {
             put_f64(&mut levels, level.alpha);
-            put_u32(&mut levels, level.edges.len() as u32);
+            put_u32(
+                &mut levels,
+                checked_len_u32(level.edges.len(), "level edge count")?,
+            );
             for &(u, v) in &level.edges {
                 put_u32(&mut levels, u);
                 put_u32(&mut levels, v);
@@ -49,7 +52,10 @@ pub fn save_tree_segment<W: Write>(tree: &TcTree, w: &mut W) -> std::io::Result<
         }
         put_u32(&mut nodes, node.parent);
         put_u32(&mut nodes, node.item.0);
-        put_u32(&mut nodes, node.truss.levels.len() as u32);
+        put_u32(
+            &mut nodes,
+            checked_len_u32(node.truss.levels.len(), "level count")?,
+        );
         put_f64(&mut nodes, node.truss.max_alpha().unwrap_or(0.0));
         put_u64(&mut nodes, blob_off);
         put_u64(&mut nodes, levels.len() as u64 - blob_off);

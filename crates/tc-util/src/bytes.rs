@@ -25,6 +25,22 @@ pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
     put_u64(buf, v.to_bits());
 }
 
+/// Narrows a length to the `u32` a binary format stores, failing with
+/// [`std::io::ErrorKind::InvalidInput`] instead of silently wrapping.
+///
+/// Writers of fixed-width formats must route every `usize → u32` length
+/// through this: a bare `as u32` on 2^32-or-more items would truncate at
+/// save time and produce a file that is corrupt on read — this surfaces
+/// the limit as a save-time error naming the oversized quantity instead.
+pub fn checked_len_u32(n: usize, what: &str) -> std::io::Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{what} ({n}) exceeds the u32 limit of the segment format"),
+        )
+    })
+}
+
 /// A bounds-checked forward-only cursor over a byte slice.
 #[derive(Debug, Clone)]
 pub struct ByteReader<'a> {
@@ -119,5 +135,28 @@ mod tests {
         let mut buf = Vec::new();
         put_u32(&mut buf, 0x0A0B_0C0D);
         assert_eq!(buf, [0x0D, 0x0C, 0x0B, 0x0A]);
+    }
+
+    #[test]
+    fn checked_len_u32_accepts_the_full_u32_range() {
+        assert_eq!(checked_len_u32(0, "x").unwrap(), 0);
+        assert_eq!(checked_len_u32(1, "x").unwrap(), 1);
+        assert_eq!(
+            checked_len_u32(u32::MAX as usize, "x").unwrap(),
+            u32::MAX,
+            "the boundary value itself must pass"
+        );
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn checked_len_u32_rejects_overflow_with_context() {
+        let err = checked_len_u32(u32::MAX as usize + 1, "transaction count").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let msg = err.to_string();
+        assert!(msg.contains("transaction count"), "{msg}");
+        assert!(msg.contains("4294967296"), "{msg}");
+        // The old `as u32` would have produced 0 here — the wrap this
+        // helper exists to prevent.
     }
 }

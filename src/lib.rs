@@ -17,6 +17,7 @@
 //! | [`index`] | the TC-Tree index and its query algorithms (QBA / QBP) |
 //! | [`data`]  | dataset generators (check-in, co-author, synthetic, planted) and text I/O |
 //! | [`store`] | the disk-backed binary segment format and lazy TC-Tree reader |
+//! | [`serve`] | the TCP query-serving daemon and its blocking client |
 //! | [`util`]  | hashing, bitsets, float ordering, heap accounting, CRC-32 |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use tc_core as core;
 pub use tc_data as data;
 pub use tc_graph as graph;
 pub use tc_index as index;
+pub use tc_serve as serve;
 pub use tc_store as store;
 pub use tc_txdb as txdb;
 pub use tc_util as util;
