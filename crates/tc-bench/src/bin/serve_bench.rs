@@ -71,6 +71,7 @@ fn main() {
         ServeConfig {
             workers: WORKERS,
             max_inflight: clients_grid.iter().copied().max().unwrap_or(1) * 4,
+            ..ServeConfig::default()
         },
     )
     .expect("bind loopback daemon");
@@ -171,6 +172,7 @@ fn main() {
         ServeConfig {
             workers: 1,
             max_inflight: 1,
+            ..ServeConfig::default()
         },
     )
     .expect("bind probe daemon");

@@ -444,9 +444,20 @@ fn print_trusses<'a>(
 }
 
 /// `tc query <tree.tct|tree.seg> [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
-/// `tc query --remote HOST:PORT [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
+/// `tc query --remote HOST:PORT [--alpha F] [--pattern a,b,c] [--network net.dbnet]
+///  [--retries N] [--retry-max-delay MS]`
 pub fn query(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &["alpha", "pattern", "network", "remote"]) {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "alpha",
+            "pattern",
+            "network",
+            "remote",
+            "retries",
+            "retry-max-delay",
+        ],
+    ) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -474,7 +485,25 @@ pub fn query(args: &[String]) -> i32 {
         if !flags.positional.is_empty() {
             return fail("--remote takes no tree path (the daemon already holds one)");
         }
-        return query_remote(addr, pattern.as_ref(), alpha, net.as_ref());
+        // BUSY rejections are the retryable failure: back off and try
+        // again, up to --retries times. Everything else fails fast.
+        let retries = match flags.get_usize("retries", 0) {
+            Ok(r) => r as u32,
+            Err(e) => return fail(e),
+        };
+        let retry_max_delay = match flags.get_usize("retry-max-delay", 2000) {
+            Ok(ms) => std::time::Duration::from_millis(ms as u64),
+            Err(e) => return fail(e),
+        };
+        let policy = tc_serve::RetryPolicy {
+            retries,
+            max_delay: retry_max_delay,
+            ..tc_serve::RetryPolicy::default()
+        };
+        return query_remote(addr, &policy, pattern.as_ref(), alpha, net.as_ref());
+    }
+    if flags.get("retries").is_some() || flags.get("retry-max-delay").is_some() {
+        return fail("--retries/--retry-max-delay apply to --remote queries only");
     }
 
     let Some(path) = flags.positional.first() else {
@@ -521,11 +550,12 @@ pub fn query(args: &[String]) -> i32 {
 /// the answer comes from a `tc serve` daemon over TCP.
 fn query_remote(
     addr: &str,
+    policy: &tc_serve::RetryPolicy,
     pattern: Option<&Pattern>,
     alpha: f64,
     net: Option<&DatabaseNetwork>,
 ) -> i32 {
-    let mut client = match tc_serve::ServeClient::connect(addr) {
+    let mut client = match tc_serve::ServeClient::connect_with_retry(addr, policy) {
         Ok(c) => c,
         Err(e) => return fail(format!("{addr}: {e}")),
     };
@@ -557,20 +587,27 @@ fn query_remote(
     0
 }
 
-/// `tc serve <tree.seg> [--addr HOST:PORT] [--workers N] [--max-inflight N]`
+/// `tc serve <tree.seg> [--addr HOST:PORT] [--workers N] [--max-inflight N]
+///  [--session-timeout SECS]`
 ///
 /// Opens a TC-Tree segment once and serves QBA/QBP/QUERY over TCP until
 /// SIGTERM/SIGINT or a client's `SHUTDOWN` verb. Admission is bounded:
 /// beyond `--max-inflight` concurrent sessions, new connections are
-/// answered with a one-line `BUSY` greeting and closed.
+/// answered with a one-line `BUSY` greeting and closed. Sessions idle
+/// longer than `--session-timeout` seconds (default 300; 0 disables) are
+/// closed to free their admission slot.
 pub fn serve(args: &[String]) -> i32 {
-    let flags = match Flags::parse(args, &["addr", "workers", "max-inflight"]) {
+    let flags = match Flags::parse(
+        args,
+        &["addr", "workers", "max-inflight", "session-timeout"],
+    ) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
     let Some(path) = flags.positional.first() else {
         return fail(
-            "usage: tc serve <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]",
+            "usage: tc serve <tree.seg> [--addr host:port] [--workers N] [--max-inflight N] \
+             [--session-timeout secs]",
         );
     };
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7641");
@@ -580,6 +617,11 @@ pub fn serve(args: &[String]) -> i32 {
     };
     let max_inflight = match flags.get_usize("max-inflight", workers.saturating_mul(16).max(1)) {
         Ok(m) => m.max(1),
+        Err(e) => return fail(e),
+    };
+    let idle_timeout = match flags.get_usize("session-timeout", 300) {
+        Ok(0) => None,
+        Ok(secs) => Some(std::time::Duration::from_secs(secs as u64)),
         Err(e) => return fail(e),
     };
 
@@ -612,6 +654,7 @@ pub fn serve(args: &[String]) -> i32 {
         tc_serve::ServeConfig {
             workers,
             max_inflight,
+            idle_timeout,
         },
     ) {
         Ok(s) => s,
@@ -707,6 +750,232 @@ pub fn convert(args: &[String]) -> i32 {
         input.display(),
         output.display(),
         if to_segment { "segment" } else { "text" }
+    );
+    0
+}
+
+/// Parses one line of the `tc ingest` ops grammar into WAL records.
+///
+/// The grammar is line-oriented; blank lines and `#` comments are the
+/// caller's to skip. A `tx` op may resolve item *names*: unknown names
+/// are auto-interned, emitting an `AddItem` record ahead of the
+/// transaction so replay always sees items before their first use.
+///
+/// ```text
+/// item <name>            # rest of line is the name
+/// db <vertex>
+/// edge <u> <v>           # exactly one record per line
+/// tx <vertex> <name,name,...>
+/// ```
+fn parse_ingest_op(
+    line: &str,
+    space: &mut tc_txdb::ItemSpace,
+) -> Result<Vec<tc_store::WalRecord>, String> {
+    use tc_store::WalRecord;
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "item" => {
+            if rest.is_empty() {
+                return Err("item needs a name".into());
+            }
+            space.intern(rest);
+            Ok(vec![WalRecord::AddItem {
+                name: rest.to_string(),
+            }])
+        }
+        "db" => {
+            let vertex: u32 = rest
+                .parse()
+                .map_err(|_| format!("db needs a vertex id, got '{rest}'"))?;
+            Ok(vec![WalRecord::AddDatabase { vertex }])
+        }
+        "edge" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [u, v] = parts.as_slice() else {
+                return Err(format!("edge needs exactly two vertex ids, got '{rest}'"));
+            };
+            let u: u32 = u.parse().map_err(|_| format!("bad vertex id '{u}'"))?;
+            let v: u32 = v.parse().map_err(|_| format!("bad vertex id '{v}'"))?;
+            if u == v {
+                return Err(format!("edge {u} {v} is a self-loop"));
+            }
+            Ok(vec![WalRecord::AddEdge { u, v }])
+        }
+        "tx" => {
+            let Some((vertex, names)) = rest.split_once(char::is_whitespace) else {
+                return Err(format!(
+                    "tx needs a vertex id and an item list, got '{rest}'"
+                ));
+            };
+            let vertex: u32 = vertex
+                .parse()
+                .map_err(|_| format!("bad vertex id '{vertex}'"))?;
+            let mut records = Vec::new();
+            let mut items = Vec::new();
+            for name in names.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                let item = match space.get(name) {
+                    Some(item) => item,
+                    None => {
+                        records.push(WalRecord::AddItem {
+                            name: name.to_string(),
+                        });
+                        space.intern(name)
+                    }
+                };
+                items.push(item.0);
+            }
+            if items.is_empty() {
+                return Err("tx needs at least one item".into());
+            }
+            records.push(WalRecord::AddTransaction { vertex, items });
+            Ok(records)
+        }
+        other => Err(format!("unknown op '{other}' (expected item|db|edge|tx)")),
+    }
+}
+
+/// `tc ingest <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
+///  [--batch-records N] [--batch-delay-ms N]`
+///
+/// Opens (or creates) the write-ahead log, replays whatever survived a
+/// previous run, then appends one mutation per ops line. Lines stream:
+/// with `--durability always` every acked record is already fsynced, so
+/// killing the process mid-stream loses at most the line in flight.
+pub fn ingest(args: &[String]) -> i32 {
+    use std::io::BufRead;
+    let flags = match Flags::parse(
+        args,
+        &[
+            "base",
+            "ops",
+            "durability",
+            "batch-records",
+            "batch-delay-ms",
+        ],
+    ) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(wal_path) = flags.positional.first() else {
+        return fail(
+            "usage: tc ingest <net.wal> --ops <file|-> [--base base.seg] \
+             [--durability always|batch]",
+        );
+    };
+    let Some(ops_path) = flags.get("ops") else {
+        return fail("--ops is required (a file of mutation lines, or - for stdin)");
+    };
+    let durability = match flags.get("durability").unwrap_or("always") {
+        "always" => tc_store::Durability::Always,
+        "batch" => {
+            let max_records = match flags.get_usize("batch-records", 64) {
+                Ok(n) => n.max(1),
+                Err(e) => return fail(e),
+            };
+            let max_delay = match flags.get_usize("batch-delay-ms", 50) {
+                Ok(ms) => std::time::Duration::from_millis(ms as u64),
+                Err(e) => return fail(e),
+            };
+            tc_store::Durability::Batch {
+                max_records,
+                max_delay,
+            }
+        }
+        other => return fail(format!("unknown --durability '{other}' (always|batch)")),
+    };
+    let reader: Box<dyn BufRead> = if ops_path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        match std::fs::File::open(ops_path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => return fail(format!("{ops_path}: {e}")),
+        }
+    };
+
+    let base = flags.get("base").map(Path::new);
+    let store = match tc_store::WalStore::open(base, Path::new(wal_path), durability) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{wal_path}: {e}")),
+    };
+    print!(
+        "recovered {} records from {wal_path}",
+        store.recovered_records()
+    );
+    if store.truncated_bytes() > 0 {
+        print!(" (torn tail: {} bytes truncated)", store.truncated_bytes());
+    }
+    println!();
+
+    let mut space = store.network().item_space().clone();
+    let mut appended = 0u64;
+    for (no, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return fail(format!("{ops_path}: {e}")),
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let records = match parse_ingest_op(trimmed, &mut space) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{ops_path}:{}: {e}", no + 1)),
+        };
+        for record in &records {
+            if let Err(e) = store.append(record) {
+                return fail(format!("{wal_path}: append failed: {e}"));
+            }
+            appended += 1;
+        }
+    }
+    if let Err(e) = store.flush() {
+        return fail(format!("{wal_path}: flush failed: {e}"));
+    }
+    println!(
+        "appended {appended} records to {wal_path} (durable through seqno {})",
+        store.wal().durable_seqno()
+    );
+    0
+}
+
+/// `tc checkpoint <net.wal> --out <net.seg> [--base base.seg]`
+///
+/// Folds the base segment plus the log into a fresh segment at `--out`,
+/// then resets the log to a single checkpoint marker. Crash-safe by
+/// write ordering: the segment is fsynced and renamed into place before
+/// the log is touched.
+pub fn checkpoint(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["base", "out"]) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(wal_path) = flags.positional.first() else {
+        return fail("usage: tc checkpoint <net.wal> --out <net.seg> [--base base.seg]");
+    };
+    let Some(out) = flags.get("out") else {
+        return fail("--out is required");
+    };
+    let base = flags.get("base").map(Path::new);
+    let report = match tc_store::wal::checkpoint(base, Path::new(wal_path), Path::new(out)) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("{wal_path}: {e}")),
+    };
+    if report.truncated_bytes > 0 {
+        println!(
+            "torn tail: {} bytes truncated while opening {wal_path}",
+            report.truncated_bytes
+        );
+    }
+    println!(
+        "folded {} records into {out}: {} vertices, {} edges, {} transactions, {} unique items",
+        report.folded_records,
+        report.stats.vertices,
+        report.stats.edges,
+        report.stats.transactions,
+        report.stats.items_unique
     );
     0
 }
@@ -975,6 +1244,7 @@ mod tests {
             tc_serve::ServeConfig {
                 workers: 2,
                 max_inflight: 8,
+                ..tc_serve::ServeConfig::default()
             },
         )
         .unwrap();
@@ -1030,6 +1300,178 @@ mod tests {
         assert_eq!(serve(&strs(&["/nonexistent/tree.seg"])), 2);
         assert_eq!(serve(&strs(&[])), 2);
         for p in [&net, &tree_txt] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn ingest_and_checkpoint_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tc_cli_wal_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("net.wal");
+        let seg = dir.join("net.seg");
+        let seg2 = dir.join("net2.seg");
+        let ops = dir.join("ops.txt");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+
+        std::fs::write(
+            &ops,
+            "# phase one\n\
+             item beer\n\
+             item diaper\n\
+             tx 0 beer,diaper\n\
+             tx 1 beer\n\
+             edge 0 1\n\
+             edge 1 2\n\
+             edge 2 0\n\
+             db 3\n",
+        )
+        .unwrap();
+        assert_eq!(ingest(&strs(&[&s(&wal), "--ops", &s(&ops)])), 0);
+        assert_eq!(checkpoint(&strs(&[&s(&wal), "--out", &s(&seg)])), 0);
+        // The fold is a real segment network: stats auto-detects it.
+        assert_eq!(stats(&strs(&[&s(&seg)])), 0);
+
+        // Phase two over the checkpointed base: a tx resolving an item
+        // name interned in phase one, plus a brand-new auto-interned one.
+        std::fs::write(&ops, "tx 2 beer,nuts\nedge 0 3\n").unwrap();
+        assert_eq!(
+            ingest(&strs(&[
+                &s(&wal),
+                "--ops",
+                &s(&ops),
+                "--base",
+                &s(&seg),
+                "--durability",
+                "batch",
+                "--batch-records",
+                "2",
+            ])),
+            0
+        );
+        assert_eq!(
+            checkpoint(&strs(&[&s(&wal), "--base", &s(&seg), "--out", &s(&seg2)])),
+            0
+        );
+        let full = tc_store::load_network_segment_from_path(&seg2).unwrap();
+        assert_eq!(full.num_vertices(), 4);
+        assert_eq!(full.num_edges(), 4);
+        assert_eq!(full.item_space().len(), 3);
+        assert_eq!(full.database(2).num_transactions(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_rejects_bad_ops_and_missing_flags() {
+        let dir = std::env::temp_dir().join(format!("tc_cli_wal_bad_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("bad.wal");
+        let ops = dir.join("bad_ops.txt");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+
+        assert_eq!(ingest(&strs(&[&s(&wal)])), 2, "--ops is required");
+        assert_eq!(ingest(&strs(&[])), 2, "wal path is required");
+        assert_eq!(checkpoint(&strs(&[&s(&wal)])), 2, "--out is required");
+
+        for bad in [
+            "edge 3 3\n",       // self-loop
+            "edge 1\n",         // missing endpoint
+            "tx 0\n",           // no item list
+            "tx 0 ,\n",         // empty item list
+            "db x\n",           // non-numeric vertex
+            "item \n",          // empty name
+            "frobnicate 1 2\n", // unknown verb
+        ] {
+            std::fs::write(&ops, bad).unwrap();
+            assert_eq!(
+                ingest(&strs(&[&s(&wal), "--ops", &s(&ops)])),
+                2,
+                "op {bad:?} must be rejected"
+            );
+        }
+        assert_eq!(
+            ingest(&strs(&[
+                &s(&wal),
+                "--ops",
+                &s(&ops),
+                "--durability",
+                "sometimes"
+            ])),
+            2
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remote_query_retries_reach_a_briefly_busy_daemon() {
+        let dir = std::env::temp_dir().join(format!("tc_cli_retry_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("retry.dbnet");
+        let tree = dir.join("retry.seg");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+        assert_eq!(
+            generate(&strs(&[
+                "--kind",
+                "planted",
+                "--out",
+                &s(&net),
+                "--seed",
+                "7"
+            ])),
+            0
+        );
+        assert_eq!(
+            index(&strs(&[&s(&net), "--out", &s(&tree), "--format", "seg"])),
+            0
+        );
+
+        let seg = SegmentTcTree::open(&tree).unwrap();
+        let server = tc_serve::Server::bind(
+            seg,
+            "127.0.0.1:0",
+            tc_serve::ServeConfig {
+                workers: 1,
+                max_inflight: 1,
+                ..tc_serve::ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        // Hold the only slot; without retries the query is turned away.
+        let holder = tc_serve::ServeClient::connect(&addr).unwrap();
+        assert_eq!(query(&strs(&["--remote", &addr, "--alpha", "0.1"])), 2);
+        // Release the slot shortly; a retrying query must get through.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            holder.quit().unwrap();
+        });
+        assert_eq!(
+            query(&strs(&[
+                "--remote",
+                &addr,
+                "--alpha",
+                "0.1",
+                "--retries",
+                "40",
+                "--retry-max-delay",
+                "200",
+            ])),
+            0
+        );
+        releaser.join().unwrap();
+        // Retry flags without --remote are contradictory.
+        assert_eq!(query(&strs(&[&s(&tree), "--retries", "3"])), 2);
+
+        tc_serve::ServeClient::connect(&addr)
+            .unwrap()
+            .shutdown_server()
+            .unwrap();
+        daemon.join().unwrap();
+        for p in [&net, &tree] {
             std::fs::remove_file(p).ok();
         }
     }

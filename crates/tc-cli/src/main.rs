@@ -8,6 +8,8 @@
 //! tc query   <tree> [--alpha F] [--pattern i1,i2,…] [--network net]
 //! tc query   --remote host:port [--alpha F] [--pattern i1,i2,…] [--network net]
 //! tc serve   <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]
+//! tc ingest  <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
+//! tc checkpoint <net.wal> --out <net.seg> [--base base.seg]
 //! tc convert <in> <out> [--to auto|text|seg]
 //! ```
 //!
@@ -15,6 +17,8 @@
 //! segment format; readers auto-detect by magic bytes. `tc serve` opens a
 //! segment tree once and answers queries over TCP (see `crates/tc-serve`);
 //! `tc query --remote` asks such a daemon instead of a local file.
+//! `tc ingest` appends mutations to a write-ahead log beside a base
+//! segment; `tc checkpoint` folds log + base into a fresh segment.
 
 mod commands;
 
@@ -27,6 +31,8 @@ fn main() {
         Some("index") => commands::index(&args[1..]),
         Some("query") => commands::query(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("ingest") => commands::ingest(&args[1..]),
+        Some("checkpoint") => commands::checkpoint(&args[1..]),
         Some("convert") => commands::convert(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -52,7 +58,9 @@ USAGE:
   tc index    <net> --out <tree.tct|tree.seg> [--threads N] [--format auto|text|seg]
   tc query    <tree> [--alpha F] [--pattern items] [--network net]
   tc query    --remote <host:port> [--alpha F] [--pattern items] [--network net]
-  tc serve    <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]
+  tc serve    <tree.seg> [--addr host:port] [--workers N] [--max-inflight N] [--session-timeout secs]
+  tc ingest   <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
+  tc checkpoint <net.wal> --out <net.seg> [--base base.seg]
   tc convert  <in> <out> [--to auto|text|seg]
 
 Readers auto-detect the text formats (dbnet/tctree) and the binary
@@ -62,7 +70,10 @@ when the output path ends in .seg. --threads defaults to every core
 parallel layer fan-out); results are identical at every thread count.
 tc serve answers QBA/QBP over TCP with bounded admission (connections
 beyond --max-inflight get a BUSY greeting); stop it with SIGTERM or a
-client's SHUTDOWN verb.
+client's SHUTDOWN verb. tc ingest appends to a crash-safe write-ahead
+log (ops lines: item NAME / db V / edge U V / tx V a,b,c); tc
+checkpoint folds log + base segment into a fresh segment and resets
+the log.
 
 EXAMPLES:
   tc generate --kind coauthor --out aminer.dbnet
@@ -71,7 +82,9 @@ EXAMPLES:
   tc query aminer.seg --alpha 0.2
   tc query aminer.seg --pattern 'data mining,sequential pattern' --network aminer.dbnet
   tc serve aminer.seg --addr 127.0.0.1:7641 --workers 4 --max-inflight 64
-  tc query --remote 127.0.0.1:7641 --alpha 0.2
+  tc query --remote 127.0.0.1:7641 --alpha 0.2 --retries 5
+  tc ingest net.wal --ops mutations.txt --base net.seg
+  tc checkpoint net.wal --base net.seg --out net2.seg
   tc convert aminer.dbnet aminer.seg"
     );
 }

@@ -62,6 +62,54 @@ impl ClientError {
 /// rendering is the caller's job, exactly as with a local query).
 pub type RemoteResult = QueryResponse;
 
+/// Bounded retry with exponential backoff for the retryable
+/// [`ClientError::Busy`] rejection.
+///
+/// Attempt `k` (0-based) sleeps `base_delay · 2^k`, capped at
+/// `max_delay`, then jittered down into `[half, full]` so a burst of
+/// rejected clients does not reconverge on the server in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast on `BUSY`).
+    pub retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max_delay);
+        exp.mul_f64(0.5 + 0.5 * jitter_fraction(attempt))
+    }
+}
+
+/// A cheap source of per-attempt noise in `[0, 1)`: hashes the attempt
+/// number under `RandomState`'s per-process random keys. Not
+/// cryptographic — it only needs to decorrelate concurrent processes.
+fn jitter_fraction(attempt: u32) -> f64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u32(attempt);
+    (h.finish() % 1024) as f64 / 1024.0
+}
+
 /// One blocking protocol session.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
@@ -103,6 +151,26 @@ impl ServeClient {
                 version,
             }),
             Greeting::Busy { reason, .. } => Err(ClientError::Busy(reason)),
+        }
+    }
+
+    /// Like [`ServeClient::connect`], but retries `BUSY` rejections per
+    /// `policy`. Only admission-control rejections are retried — I/O and
+    /// protocol errors fail immediately, and the final `BUSY` is returned
+    /// once the budget is exhausted.
+    pub fn connect_with_retry(
+        addr: &str,
+        policy: &RetryPolicy,
+    ) -> Result<ServeClient, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match ServeClient::connect(addr) {
+                Err(e) if e.is_busy() && attempt < policy.retries => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
         }
     }
 

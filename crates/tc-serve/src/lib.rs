@@ -55,6 +55,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientError, RemoteResult, ServeClient};
+pub use client::{ClientError, RemoteResult, RetryPolicy, ServeClient};
 pub use protocol::{Greeting, QueryResponse, Request, TrussSummary, PROTOCOL_VERSION};
 pub use server::{install_signal_handlers, ServeConfig, Server, ServerHandle, StatsSnapshot};

@@ -49,6 +49,11 @@ pub struct ServeConfig {
     /// Maximum admitted-but-unfinished sessions (queued + in service);
     /// connections beyond it are greeted `BUSY` and closed.
     pub max_inflight: usize,
+    /// How long a session may sit without completing a request line
+    /// before it is closed and its admission slot freed. A hung or
+    /// half-dead client would otherwise hold one of `max_inflight` slots
+    /// forever. `None` disables the timeout.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +61,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             max_inflight: 64,
+            idle_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -72,6 +78,7 @@ struct Counters {
     stats: AtomicU64,
     protocol_errors: AtomicU64,
     query_failures: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -95,6 +102,8 @@ pub struct StatsSnapshot {
     pub protocol_errors: u64,
     /// Queries that failed server-side (e.g. segment corruption).
     pub query_failures: u64,
+    /// Sessions closed for sitting idle past the configured timeout.
+    pub timeouts: u64,
     /// Sessions admitted but not yet finished, at snapshot time.
     pub inflight: u64,
 }
@@ -158,6 +167,7 @@ impl Inner {
             stats: c.stats.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             query_failures: c.query_failures.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::SeqCst) as u64,
         }
     }
@@ -326,7 +336,11 @@ fn worker_loop(inner: &Inner) {
         };
         let _guard = InflightGuard(inner);
         // Socket errors end the session; the next connection is unaffected.
-        let _ = serve_session(inner, stream);
+        if let Err(e) = serve_session(inner, stream) {
+            if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+                inner.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -347,15 +361,30 @@ fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
     )?;
 
     let mut line = String::new();
+    let mut idle = Duration::ZERO;
     loop {
-        // A read timeout only re-checks the shutdown flag; partial bytes
-        // already appended to `line` survive the retry.
+        // A read timeout re-checks the shutdown flag and advances the
+        // idle clock; partial bytes already appended to `line` survive
+        // the retry (a byte-trickling client still counts as idle — only
+        // a *complete* request line resets the clock).
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client closed
-            Ok(_) => {}
+            Ok(_) => idle = Duration::ZERO,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return Ok(());
+                }
+                idle += READ_TICK;
+                if let Some(limit) = inner.cfg.idle_timeout {
+                    if idle >= limit {
+                        // Best effort: the client may be past listening.
+                        let _ = stream
+                            .write_all(encode_error("session idle timeout", false).as_bytes());
+                        return Err(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            "session idle timeout",
+                        ));
+                    }
                 }
                 continue;
             }
@@ -425,6 +454,7 @@ fn handle_request(
                 ("stats", s.stats),
                 ("protocol_errors", s.protocol_errors),
                 ("query_failures", s.query_failures),
+                ("timeouts", s.timeouts),
             ];
             stream.write_all(encode_stats(&rows, *json).as_bytes())?;
             return Ok(SessionFlow::Continue);

@@ -115,6 +115,7 @@ fn overload_yields_busy_and_slot_frees_on_disconnect() {
         ServeConfig {
             workers: 1,
             max_inflight: 1,
+            ..ServeConfig::default()
         },
     );
 
@@ -172,6 +173,7 @@ fn concurrent_clients_get_consistent_answers() {
         ServeConfig {
             workers: 4,
             max_inflight: 32,
+            ..ServeConfig::default()
         },
     );
     let bound = segment_of(&tree).alpha_upper_bound();
@@ -282,6 +284,107 @@ fn handle_shutdown_drains_inflight_sessions() {
 }
 
 #[test]
+fn stalled_sessions_time_out_and_free_their_slot() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(
+        &tree,
+        ServeConfig {
+            workers: 1,
+            max_inflight: 1,
+            idle_timeout: Some(std::time::Duration::from_millis(400)),
+        },
+    );
+
+    // A connect-and-stall client: reads the greeting, then goes silent,
+    // holding the only admission slot.
+    let staller = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(staller.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("TCSERVE"), "{line}");
+
+    // While the staller holds the slot, admission rejects with BUSY.
+    match ServeClient::connect(&addr) {
+        Err(e) if e.is_busy() => {}
+        Err(e) => panic!("expected BUSY while stalled, got error {e}"),
+        Ok(_) => panic!("expected BUSY while stalled, got admitted"),
+    }
+
+    // The idle timeout must close the stalled session and free the slot.
+    let mut admitted = None;
+    for _ in 0..200 {
+        match ServeClient::connect(&addr) {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(e) if e.is_busy() => std::thread::sleep(std::time::Duration::from_millis(20)),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let mut client = admitted.expect("stalled session never timed out");
+    let rows = client.stats().unwrap();
+    let timeouts = rows
+        .iter()
+        .find(|(k, _)| k == "timeouts")
+        .expect("timeouts row missing from STATS")
+        .1;
+    assert!(timeouts >= 1, "timeout not counted: {rows:?}");
+
+    client.quit().unwrap();
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert!(stats.timeouts >= 1);
+    drop(staller);
+}
+
+#[test]
+fn busy_retry_succeeds_once_the_slot_frees() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(
+        &tree,
+        ServeConfig {
+            workers: 1,
+            max_inflight: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Occupy the only slot, then release it from another thread while the
+    // retrying client is backing off.
+    let holder = ServeClient::connect(&addr).unwrap();
+
+    // Fail-fast policy: no retries means the BUSY surfaces immediately.
+    let policy = tc_serve::RetryPolicy::default();
+    assert_eq!(policy.retries, 0);
+    match ServeClient::connect_with_retry(&addr, &policy) {
+        Err(e) if e.is_busy() => {}
+        Err(e) => panic!("expected immediate BUSY, got error {e}"),
+        Ok(_) => panic!("expected immediate BUSY, got admitted"),
+    }
+
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        holder.quit().unwrap();
+    });
+    let policy = tc_serve::RetryPolicy {
+        retries: 40,
+        base_delay: std::time::Duration::from_millis(25),
+        max_delay: std::time::Duration::from_millis(200),
+    };
+    let mut client =
+        ServeClient::connect_with_retry(&addr, &policy).expect("retry never got admitted");
+    client.qba(0.0).unwrap();
+    releaser.join().unwrap();
+
+    client.quit().unwrap();
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert!(stats.rejected_busy >= 2, "retries were never rejected");
+    assert_eq!(stats.admitted, 2);
+}
+
+#[test]
 fn zero_worker_config_is_rejected() {
     let tree = sample_tree();
     let seg = segment_of(&tree);
@@ -290,7 +393,8 @@ fn zero_worker_config_is_rejected() {
         "127.0.0.1:0",
         ServeConfig {
             workers: 0,
-            max_inflight: 4
+            max_inflight: 4,
+            ..ServeConfig::default()
         }
     )
     .is_err());

@@ -16,7 +16,11 @@
 //! * [`sniff`] — format detection by magic bytes (segments vs. the two
 //!   text formats);
 //! * [`convert`] — text ↔ segment conversions, both directions, for both
-//!   value types.
+//!   value types;
+//! * [`wal`] — the durable write path: an append-only, CRC-framed
+//!   write-ahead log with group commit, crash recovery that truncates torn
+//!   tails and replays over a base segment, and a deterministic
+//!   fault-injection harness that proves it.
 //!
 //! ## Quick taste
 //!
@@ -54,6 +58,7 @@ pub mod network;
 pub mod page;
 pub mod sniff;
 pub mod tree;
+pub mod wal;
 
 pub use network::{
     load_network_segment_from_bytes, load_network_segment_from_path, save_network_segment,
@@ -65,3 +70,4 @@ pub use tc_util::LoadError;
 pub use tree::{
     load_tree_segment_from_path, save_tree_segment, save_tree_segment_to_path, SegmentTcTree,
 };
+pub use wal::{Durability, Wal, WalRecord, WalStore};

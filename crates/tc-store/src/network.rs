@@ -61,22 +61,10 @@ pub fn save_network_segment<W: Write>(network: &DatabaseNetwork, w: &mut W) -> s
         let h = db.num_transactions();
         put_u32(&mut dbs, v);
         put_u32(&mut dbs, checked_len_u32(h, "transaction count")?);
-        // Reconstruct horizontal transactions from the tidsets, as the
-        // text format does — tid order is normalised, not semantic.
-        let mut transactions: Vec<Vec<u32>> = vec![Vec::new(); h];
-        let mut db_items: Vec<Item> = db.items().collect();
-        db_items.sort_unstable();
-        for item in db_items {
-            if let Some(tidset) = db.tidset(item) {
-                for tid in tidset.iter() {
-                    transactions[tid].push(item.0);
-                }
-            }
-        }
-        for t in transactions {
+        for t in db.transactions() {
             put_u32(&mut dbs, checked_len_u32(t.len(), "transaction length")?);
-            for id in t {
-                put_u32(&mut dbs, id);
+            for item in t {
+                put_u32(&mut dbs, item.0);
             }
         }
     }

@@ -1,0 +1,372 @@
+//! The WAL's storage seam, and the deterministic fault-injection layer
+//! built on it.
+//!
+//! [`WalStorage`] is everything the log writer needs from a file:
+//! append, truncate, sync, read-back. [`FileWalStorage`] is the real
+//! thing. [`FaultWalStorage`] models a disk with a page cache: writes land
+//! in a volatile cache image, `sync` copies the cache to a durable image,
+//! and a scripted [`FaultPlan`] can fail or shorten any write or drop any
+//! sync. A "power cut" is then *every* prefix of the cache image that is
+//! at least as long as the durable image — [`FaultWalStorage::crash_images`]
+//! enumerates them all, which is what makes the crash-recovery test suite
+//! exhaustive rather than sampled.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The byte-level storage a [`super::Wal`](super::writer::Wal) writes to.
+///
+/// Methods take `&self` so a sync can run while other threads append — the
+/// group-commit writer keeps the storage handle outside its state mutex.
+pub trait WalStorage: Send + Sync {
+    /// Reads the entire current image.
+    fn read_all(&self) -> std::io::Result<Vec<u8>>;
+    /// Appends `bytes` at the end of the image.
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Truncates the image to `len` bytes.
+    fn truncate(&self, len: u64) -> std::io::Result<()>;
+    /// Makes everything appended so far durable.
+    fn sync(&self) -> std::io::Result<()>;
+    /// Current image length in bytes.
+    fn len(&self) -> std::io::Result<u64>;
+    /// `true` when the image is empty.
+    fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Real-file storage: the production implementation.
+#[derive(Debug)]
+pub struct FileWalStorage {
+    file: File,
+}
+
+impl FileWalStorage {
+    /// Opens (creating if absent) the log file at `path`.
+    pub fn open(path: &Path) -> std::io::Result<FileWalStorage> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileWalStorage { file })
+    }
+}
+
+impl WalStorage for FileWalStorage {
+    fn read_all(&self) -> std::io::Result<Vec<u8>> {
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut f = &self.file;
+        f.seek(SeekFrom::End(0))?;
+        f.write_all(bytes)
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        self.file.sync_all()
+    }
+
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+/// Plain in-memory storage — the fault-free test double. Clones share the
+/// same image, so a test can keep a handle while the writer owns another.
+#[derive(Debug, Clone, Default)]
+pub struct MemWalStorage {
+    image: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemWalStorage {
+    /// An empty in-memory log.
+    pub fn new() -> MemWalStorage {
+        MemWalStorage::default()
+    }
+
+    /// A log pre-seeded with `bytes`.
+    pub fn from_bytes(bytes: Vec<u8>) -> MemWalStorage {
+        MemWalStorage {
+            image: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// A snapshot of the current image.
+    pub fn image(&self) -> Vec<u8> {
+        self.image.lock().expect("mem wal storage poisoned").clone()
+    }
+}
+
+impl WalStorage for MemWalStorage {
+    fn read_all(&self) -> std::io::Result<Vec<u8>> {
+        Ok(self.image())
+    }
+
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()> {
+        self.image
+            .lock()
+            .expect("mem wal storage poisoned")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        self.image
+            .lock()
+            .expect("mem wal storage poisoned")
+            .truncate(len as usize);
+        Ok(())
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.image.lock().expect("mem wal storage poisoned").len() as u64)
+    }
+}
+
+/// Scripted faults for one [`FaultWalStorage`]. Counters are 1-based over
+/// the lifetime of the storage: `fail_write: Some(3)` fails the third
+/// write call.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail the n-th write entirely (nothing lands in the cache).
+    pub fail_write: Option<u64>,
+    /// Shorten the n-th write: only the first `k` bytes land, then error.
+    pub short_write: Option<(u64, usize)>,
+    /// From the n-th sync on, report success but persist nothing — a
+    /// lying disk.
+    pub drop_syncs_from: Option<u64>,
+    /// Fail the n-th sync with an error (nothing persisted by it).
+    pub fail_sync: Option<u64>,
+    /// Sleep this long inside every sync — widens the group-commit window
+    /// so batching tests can pile appenders onto one flush.
+    pub sync_delay: Option<Duration>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    durable: Vec<u8>,
+    cache: Vec<u8>,
+    plan: FaultPlan,
+    writes: u64,
+    syncs: u64,
+    dropped_syncs: u64,
+}
+
+/// Fault-injecting storage with an explicit durable/volatile split.
+///
+/// Invariant: the durable image is always a prefix of the cache image
+/// (appends only grow the cache; an honest sync copies cache → durable;
+/// truncate shortens both). A crash can therefore expose exactly the
+/// prefixes of the cache no shorter than the durable image.
+#[derive(Debug, Clone, Default)]
+pub struct FaultWalStorage {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultWalStorage {
+    /// Fault-free storage (inject later via [`FaultWalStorage::set_plan`]).
+    pub fn new() -> FaultWalStorage {
+        FaultWalStorage::default()
+    }
+
+    /// Storage with `plan` armed from the first operation.
+    pub fn with_plan(plan: FaultPlan) -> FaultWalStorage {
+        let storage = FaultWalStorage::default();
+        storage.set_plan(plan);
+        storage
+    }
+
+    /// Replaces the fault plan (counters keep running).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.lock().plan = plan;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().expect("fault wal storage poisoned")
+    }
+
+    /// Snapshot of the durable image — what survives a power cut after
+    /// the page cache is lost.
+    pub fn durable_image(&self) -> Vec<u8> {
+        self.lock().durable.clone()
+    }
+
+    /// Snapshot of the volatile cache image.
+    pub fn cache_image(&self) -> Vec<u8> {
+        self.lock().cache.clone()
+    }
+
+    /// Every file image a power cut could leave behind: the cache
+    /// truncated at each byte offset from the durable length to the full
+    /// cache length, inclusive. (The kernel may have written back any
+    /// prefix of the dirty tail; it can never lose already-durable bytes.)
+    pub fn crash_images(&self) -> Vec<Vec<u8>> {
+        let state = self.lock();
+        debug_assert!(state.cache.starts_with(&state.durable));
+        (state.durable.len()..=state.cache.len())
+            .map(|cut| state.cache[..cut].to_vec())
+            .collect()
+    }
+
+    /// Total write calls observed (including failed ones).
+    pub fn write_count(&self) -> u64 {
+        self.lock().writes
+    }
+
+    /// Successful syncs that actually persisted data.
+    pub fn sync_count(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    /// Syncs that lied: returned `Ok` without persisting.
+    pub fn dropped_sync_count(&self) -> u64 {
+        self.lock().dropped_syncs
+    }
+}
+
+impl WalStorage for FaultWalStorage {
+    fn read_all(&self) -> std::io::Result<Vec<u8>> {
+        Ok(self.lock().cache.clone())
+    }
+
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut state = self.lock();
+        state.writes += 1;
+        let n = state.writes;
+        if state.plan.fail_write == Some(n) {
+            return Err(std::io::Error::other(format!("injected: write {n} failed")));
+        }
+        if let Some((at, keep)) = state.plan.short_write {
+            if at == n {
+                let keep = keep.min(bytes.len());
+                let partial = bytes[..keep].to_vec();
+                state.cache.extend_from_slice(&partial);
+                return Err(std::io::Error::other(format!(
+                    "injected: write {n} torn after {keep} bytes"
+                )));
+            }
+        }
+        state.cache.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        let mut state = self.lock();
+        let len = len as usize;
+        state.cache.truncate(len);
+        let keep = len.min(state.durable.len());
+        state.durable.truncate(keep);
+        Ok(())
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        let delay = self.lock().plan.sync_delay;
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        let mut state = self.lock();
+        let n = state.syncs + state.dropped_syncs + 1;
+        if state.plan.fail_sync == Some(n) {
+            return Err(std::io::Error::other(format!("injected: sync {n} failed")));
+        }
+        if state.plan.drop_syncs_from.is_some_and(|from| n >= from) {
+            state.dropped_syncs += 1;
+            return Ok(());
+        }
+        state.durable = state.cache.clone();
+        state.syncs += 1;
+        Ok(())
+    }
+
+    fn len(&self) -> std::io::Result<u64> {
+        Ok(self.lock().cache.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durable_lags_cache_until_sync() {
+        let s = FaultWalStorage::new();
+        s.append(b"abc").unwrap();
+        assert_eq!(s.cache_image(), b"abc");
+        assert_eq!(s.durable_image(), b"");
+        s.sync().unwrap();
+        assert_eq!(s.durable_image(), b"abc");
+        s.append(b"de").unwrap();
+        // Crash images: durable "abc" through full cache "abcde".
+        let images = s.crash_images();
+        assert_eq!(images.len(), 3);
+        assert_eq!(images[0], b"abc");
+        assert_eq!(images[2], b"abcde");
+    }
+
+    #[test]
+    fn short_write_keeps_prefix_and_errors() {
+        let s = FaultWalStorage::with_plan(FaultPlan {
+            short_write: Some((2, 1)),
+            ..FaultPlan::default()
+        });
+        s.append(b"xy").unwrap();
+        let err = s.append(b"zw").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert_eq!(s.cache_image(), b"xyz");
+        assert_eq!(s.write_count(), 2);
+    }
+
+    #[test]
+    fn dropped_sync_lies() {
+        let s = FaultWalStorage::with_plan(FaultPlan {
+            drop_syncs_from: Some(1),
+            ..FaultPlan::default()
+        });
+        s.append(b"q").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.durable_image(), b"");
+        assert_eq!(s.dropped_sync_count(), 1);
+        assert_eq!(s.sync_count(), 0);
+    }
+
+    #[test]
+    fn truncate_shortens_both_images() {
+        let s = FaultWalStorage::new();
+        s.append(b"abcdef").unwrap();
+        s.sync().unwrap();
+        s.truncate(2).unwrap();
+        assert_eq!(s.cache_image(), b"ab");
+        assert_eq!(s.durable_image(), b"ab");
+        assert_eq!(s.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        let s = MemWalStorage::new();
+        s.append(b"hello").unwrap();
+        s.truncate(4).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hell");
+        assert!(!s.is_empty().unwrap());
+        let shared = s.clone();
+        shared.append(b"o").unwrap();
+        assert_eq!(s.image(), b"hello");
+    }
+}

@@ -1,0 +1,23 @@
+//! The durable write path: a write-ahead log for database networks.
+//!
+//! Segments are immutable; mutations go to an append-only log first
+//! ([`writer`]), become durable via group-committed fsyncs, and are folded
+//! into a fresh segment by a checkpoint ([`recover`]). Recovery replays
+//! the log over the base segment, truncating a torn tail at the last
+//! valid record boundary ([`reader`]) and surfacing mid-log damage as the
+//! same typed [`tc_util::LoadError`]s the segment readers use. The
+//! [`faults`] module is the proof layer: a storage trait with a
+//! deterministic fault-injecting implementation that the crash-recovery
+//! test suite drives exhaustively.
+
+pub mod faults;
+pub mod reader;
+pub mod record;
+pub mod recover;
+pub mod writer;
+
+pub use faults::{FaultPlan, FaultWalStorage, FileWalStorage, MemWalStorage, WalStorage};
+pub use reader::{encode_wal, scan_wal, WalScan};
+pub use record::{WalRecord, FRAME_HEADER_LEN, MAX_RECORD_LEN, WAL_HEADER_LEN, WAL_MAGIC};
+pub use recover::{checkpoint, replay, CheckpointReport, WalStore};
+pub use writer::{Durability, Wal};

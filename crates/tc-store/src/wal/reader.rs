@@ -1,0 +1,248 @@
+//! WAL scanning: frame validation, torn-tail detection, and the
+//! torn-vs-corrupt classification rules.
+//!
+//! A scan walks the log front to back and must answer one question per
+//! anomaly: *could this be the result of a crash mid-append?* A crash can
+//! only shorten the file — every complete frame before the end is
+//! untouched — so damage strictly before the last frame boundary is
+//! corruption (typed [`LoadError`]), while an incomplete or
+//! checksum-failing region that runs to end-of-file is a torn tail the
+//! writer may truncate and continue past.
+
+use tc_util::{Crc32, LoadError};
+
+use super::record::{check_header, WalRecord, FRAME_HEADER_LEN, MAX_RECORD_LEN, WAL_HEADER_LEN};
+
+/// Result of scanning a WAL image.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every valid record, in order, paired with its sequence number.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte length of the valid prefix (header + complete frames). The
+    /// writer truncates the file here before appending.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` discarded as a torn tail (0 for a clean log).
+    pub torn_bytes: u64,
+    /// `true` when even the 16-byte file header was incomplete — a crash
+    /// during creation; the writer rewrites the header from scratch.
+    pub header_rewrite: bool,
+}
+
+fn corrupt(msg: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(format!("wal: {}", msg.into()))
+}
+
+/// Scans a full WAL image, classifying every anomaly as either a torn
+/// tail (recoverable, reported in the returned [`WalScan`]) or mid-log
+/// damage (a typed error).
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, LoadError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        // A crash while creating the file: nothing before the header is
+        // ever acked, so an incomplete header is a torn tail, not damage.
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_bytes: bytes.len() as u64,
+            header_rewrite: true,
+        });
+    }
+    check_header(&bytes[..WAL_HEADER_LEN])?;
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    let mut expected_seqno = 1u64;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            break; // clean end
+        }
+        if remaining < FRAME_HEADER_LEN {
+            return torn(records, pos, bytes.len());
+        }
+        let head = &bytes[pos..pos + FRAME_HEADER_LEN];
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        if len > MAX_RECORD_LEN {
+            // The writer bounds payloads at append time, so a length this
+            // large cannot be a partially written legitimate frame.
+            return Err(corrupt(format!(
+                "record at byte {pos} claims {len} bytes (cap {MAX_RECORD_LEN})"
+            )));
+        }
+        let frame_end = pos + FRAME_HEADER_LEN + len;
+        if frame_end > bytes.len() {
+            return torn(records, pos, bytes.len());
+        }
+        let stored_crc = u32::from_le_bytes([head[12], head[13], head[14], head[15]]);
+        let mut h = Crc32::new();
+        h.update(&head[..12]);
+        h.update(&bytes[pos + FRAME_HEADER_LEN..frame_end]);
+        if stored_crc != h.finish() {
+            if frame_end == bytes.len() {
+                // The damaged frame is the last thing in the file — a torn
+                // write of the final append is indistinguishable from bit
+                // rot here, and truncating loses nothing that was acked.
+                return torn(records, pos, bytes.len());
+            }
+            return Err(LoadError::checksum(format!(
+                "wal: record at byte {pos} fails its CRC with valid data after it"
+            )));
+        }
+        // CRC-valid frame: its seqno and payload were written intact, so
+        // any inconsistency from here on is corruption, never a torn tail.
+        let seqno = u64::from_le_bytes([
+            head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+        ]);
+        if seqno != expected_seqno {
+            return Err(corrupt(format!(
+                "record at byte {pos} carries seqno {seqno}, expected {expected_seqno}"
+            )));
+        }
+        let record = WalRecord::decode_payload(&bytes[pos + FRAME_HEADER_LEN..frame_end])?;
+        records.push((seqno, record));
+        expected_seqno += 1;
+        pos = frame_end;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos as u64,
+        torn_bytes: 0,
+        header_rewrite: false,
+    })
+}
+
+fn torn(
+    records: Vec<(u64, WalRecord)>,
+    valid_end: usize,
+    file_len: usize,
+) -> Result<WalScan, LoadError> {
+    Ok(WalScan {
+        records,
+        valid_len: valid_end as u64,
+        torn_bytes: (file_len - valid_end) as u64,
+        header_rewrite: false,
+    })
+}
+
+/// Encodes a complete WAL image (header + frames) for the given records,
+/// numbering them from `first_seqno`. Test and checkpoint helper.
+pub fn encode_wal(records: &[WalRecord], first_seqno: u64) -> std::io::Result<Vec<u8>> {
+    let mut image = super::record::encode_header().to_vec();
+    for (i, rec) in records.iter().enumerate() {
+        image.extend_from_slice(&rec.encode_frame(first_seqno + i as u64)?);
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::AddItem { name: "a".into() },
+            WalRecord::AddEdge { u: 0, v: 1 },
+            WalRecord::AddTransaction {
+                vertex: 0,
+                items: vec![0],
+            },
+            WalRecord::AddDatabase { vertex: 2 },
+        ]
+    }
+
+    #[test]
+    fn clean_log_scans_fully() {
+        let image = encode_wal(&sample_records(), 1).unwrap();
+        let scan = scan_wal(&image).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.valid_len, image.len() as u64);
+        assert_eq!(scan.torn_bytes, 0);
+        assert!(!scan.header_rewrite);
+        let seqnos: Vec<u64> = scan.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqnos, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_partial_header_is_a_rewrite() {
+        for cut in 0..WAL_HEADER_LEN {
+            let image = encode_wal(&[], 1).unwrap();
+            let scan = scan_wal(&image[..cut]).unwrap();
+            assert!(scan.header_rewrite, "cut at {cut}");
+            assert_eq!(scan.valid_len, 0);
+        }
+        // The complete header alone is a valid empty log.
+        let scan = scan_wal(&encode_wal(&[], 1).unwrap()).unwrap();
+        assert!(!scan.header_rewrite);
+        assert_eq!(scan.valid_len, WAL_HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_a_record_prefix() {
+        let records = sample_records();
+        let image = encode_wal(&records, 1).unwrap();
+        // Precompute frame boundaries to know the expected prefix length.
+        let mut boundaries = vec![WAL_HEADER_LEN];
+        for rec in &records {
+            let frame = rec.encode_frame(1).unwrap();
+            boundaries.push(boundaries.last().unwrap() + frame.len());
+        }
+        for cut in WAL_HEADER_LEN..=image.len() {
+            let scan = scan_wal(&image[..cut]).unwrap();
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.records.len(), expect, "cut at {cut}");
+            let boundary = boundaries[expect];
+            assert_eq!(scan.valid_len, boundary as u64, "cut at {cut}");
+            assert_eq!(scan.torn_bytes, (cut - boundary) as u64, "cut at {cut}");
+            for (i, (s, rec)) in scan.records.iter().enumerate() {
+                assert_eq!(*s, i as u64 + 1);
+                assert_eq!(*rec, records[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn midlog_flip_is_typed_tail_flip_is_torn() {
+        let image = encode_wal(&sample_records(), 1).unwrap();
+        // Flip a payload byte of the FIRST record: valid data follows, so
+        // the scan must fail loudly rather than truncate silently.
+        let mut bad = image.clone();
+        bad[WAL_HEADER_LEN + FRAME_HEADER_LEN] ^= 0x40;
+        let err = scan_wal(&bad).unwrap_err();
+        assert!(matches!(err, LoadError::Checksum(_)), "{err}");
+        // Flip a byte of the LAST record: indistinguishable from a torn
+        // final append, so it truncates to the prefix.
+        let mut tail = image.clone();
+        let last = image.len() - 1;
+        tail[last] ^= 0x40;
+        let scan = scan_wal(&tail).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn seqno_gap_is_corrupt() {
+        let mut records = sample_records();
+        records.truncate(2);
+        let mut image = encode_wal(&records[..1], 1).unwrap();
+        // Second record numbered 3 instead of 2, with a valid CRC.
+        image.extend_from_slice(&records[1].encode_frame(3).unwrap());
+        let err = scan_wal(&image).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("seqno"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_field_is_corrupt_not_torn() {
+        let mut image = encode_wal(&sample_records()[..1], 1).unwrap();
+        let len_at = WAL_HEADER_LEN;
+        image[len_at..len_at + 4].copy_from_slice(&((MAX_RECORD_LEN as u32) + 1).to_le_bytes());
+        let err = scan_wal(&image).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt() {
+        let mut image = encode_wal(&[], 1).unwrap();
+        image[0] = b'X';
+        assert!(scan_wal(&image).unwrap_err().is_corruption());
+    }
+}

@@ -1,0 +1,333 @@
+//! WAL record types and the per-record wire framing.
+//!
+//! ## File grammar
+//!
+//! ```text
+//! wal     := header record*
+//! header  := magic "TCWAL01\n" · version u16 · reserved u16 · crc u32
+//!            (crc is CRC-32 of the first 12 header bytes)
+//! record  := len u32 · seqno u64 · crc u32 · payload[len]
+//!            (crc is CRC-32 of len-bytes ‖ seqno-bytes ‖ payload)
+//! payload := tag u8 · body
+//! ```
+//!
+//! All integers are little-endian, like the segment format. Sequence
+//! numbers are monotonic from 1 with no gaps; a checkpoint resets the log
+//! file, so the first record of any log always carries seqno 1. The CRC
+//! covers the length and seqno fields so a bit flip anywhere in a frame is
+//! detected, not just in the payload.
+
+use tc_util::bytes::{checked_len_u32, put_u32, put_u64, ByteReader};
+use tc_util::{crc32, LoadError};
+
+/// Leading magic of a WAL file (the segment format uses `TCSEG01\n`).
+pub const WAL_MAGIC: [u8; 8] = *b"TCWAL01\n";
+
+/// Format version; bumped on incompatible grammar changes.
+pub const WAL_VERSION: u16 = 1;
+
+/// File header length: magic (8) + version (2) + reserved (2) + crc (4).
+pub const WAL_HEADER_LEN: usize = 16;
+
+/// Frame header length: len (4) + seqno (8) + crc (4).
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Upper bound on a record payload. A length field beyond this cannot come
+/// from the writer (which checks at append time), so the reader classifies
+/// it as corruption rather than a torn tail.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+const TAG_ADD_ITEM: u8 = 1;
+const TAG_ADD_DATABASE: u8 = 2;
+const TAG_ADD_EDGE: u8 = 3;
+const TAG_ADD_TRANSACTION: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+fn corrupt(msg: impl Into<String>) -> LoadError {
+    LoadError::Corrupt(format!("wal: {}", msg.into()))
+}
+
+/// One typed mutation in the durable write path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Interns an item name; ids are assigned densely in record order.
+    AddItem {
+        /// The item name to intern.
+        name: String,
+    },
+    /// Guarantees a vertex exists, even if isolated and database-less.
+    AddDatabase {
+        /// The vertex id.
+        vertex: u32,
+    },
+    /// Adds the undirected edge `{u, v}`.
+    AddEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint (`u != v`; self-loops are rejected at decode).
+        v: u32,
+    },
+    /// Appends one transaction (an itemset) to a vertex's database.
+    AddTransaction {
+        /// The vertex whose database grows.
+        vertex: u32,
+        /// Item ids; must already be interned when the record is replayed.
+        items: Vec<u32>,
+    },
+    /// Marks a fold of the log into a fresh base segment. Written as the
+    /// first record of the reset log; a no-op on replay.
+    Checkpoint {
+        /// How many records the fold consumed.
+        folded: u64,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the payload (tag + body), without framing.
+    pub fn encode_payload(&self) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        match self {
+            WalRecord::AddItem { name } => {
+                buf.push(TAG_ADD_ITEM);
+                put_u32(&mut buf, checked_len_u32(name.len(), "item name length")?);
+                buf.extend_from_slice(name.as_bytes());
+            }
+            WalRecord::AddDatabase { vertex } => {
+                buf.push(TAG_ADD_DATABASE);
+                put_u32(&mut buf, *vertex);
+            }
+            WalRecord::AddEdge { u, v } => {
+                buf.push(TAG_ADD_EDGE);
+                put_u32(&mut buf, *u);
+                put_u32(&mut buf, *v);
+            }
+            WalRecord::AddTransaction { vertex, items } => {
+                buf.push(TAG_ADD_TRANSACTION);
+                put_u32(&mut buf, *vertex);
+                put_u32(
+                    &mut buf,
+                    checked_len_u32(items.len(), "transaction length")?,
+                );
+                for &id in items {
+                    put_u32(&mut buf, id);
+                }
+            }
+            WalRecord::Checkpoint { folded } => {
+                buf.push(TAG_CHECKPOINT);
+                put_u64(&mut buf, *folded);
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a payload, validating structure (utf-8 names, no self-loop
+    /// edges, no trailing bytes). Item-id range checks happen at replay,
+    /// where the item space is known.
+    pub fn decode_payload(bytes: &[u8]) -> Result<WalRecord, LoadError> {
+        let mut r = ByteReader::new(bytes);
+        let eof = || corrupt("record payload truncated");
+        let tag = r.take(1).ok_or_else(eof)?[0];
+        let record = match tag {
+            TAG_ADD_ITEM => {
+                let len = r.u32().ok_or_else(eof)? as usize;
+                let raw = r.take(len).ok_or_else(eof)?;
+                let name = std::str::from_utf8(raw)
+                    .map_err(|_| corrupt("item name not utf-8"))?
+                    .to_string();
+                WalRecord::AddItem { name }
+            }
+            TAG_ADD_DATABASE => WalRecord::AddDatabase {
+                vertex: r.u32().ok_or_else(eof)?,
+            },
+            TAG_ADD_EDGE => {
+                let (u, v) = (r.u32().ok_or_else(eof)?, r.u32().ok_or_else(eof)?);
+                if u == v {
+                    return Err(corrupt(format!("self-loop edge ({u}, {v})")));
+                }
+                WalRecord::AddEdge { u, v }
+            }
+            TAG_ADD_TRANSACTION => {
+                let vertex = r.u32().ok_or_else(eof)?;
+                let k = r.u32().ok_or_else(eof)?;
+                // Cap the pre-allocation by the bytes actually left: a
+                // crafted count must hit EOF below, not abort on a huge
+                // reservation.
+                let mut items = Vec::with_capacity((k as usize).min(r.remaining() / 4));
+                for _ in 0..k {
+                    items.push(r.u32().ok_or_else(eof)?);
+                }
+                WalRecord::AddTransaction { vertex, items }
+            }
+            TAG_CHECKPOINT => WalRecord::Checkpoint {
+                folded: r.u64().ok_or_else(eof)?,
+            },
+            other => return Err(corrupt(format!("unknown record tag {other}"))),
+        };
+        if !r.is_empty() {
+            return Err(corrupt("trailing bytes in record payload"));
+        }
+        Ok(record)
+    }
+
+    /// Encodes the full frame (`len · seqno · crc · payload`) for `seqno`.
+    pub fn encode_frame(&self, seqno: u64) -> std::io::Result<Vec<u8>> {
+        let payload = self.encode_payload()?;
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "wal record of {} bytes exceeds the {MAX_RECORD_LEN}-byte cap",
+                    payload.len()
+                ),
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u64(&mut frame, seqno);
+        let mut h = tc_util::Crc32::new();
+        h.update(&frame[..12]);
+        h.update(&payload);
+        put_u32(&mut frame, h.finish());
+        frame.extend_from_slice(&payload);
+        Ok(frame)
+    }
+}
+
+/// Encodes the 16-byte file header.
+pub fn encode_header() -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[..8].copy_from_slice(&WAL_MAGIC);
+    h[8..10].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    // bytes 10..12 reserved (zero)
+    let crc = crc32(&h[..12]);
+    h[12..16].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Validates a full 16-byte header slice.
+pub fn check_header(bytes: &[u8]) -> Result<(), LoadError> {
+    debug_assert!(bytes.len() >= WAL_HEADER_LEN);
+    if bytes[..8] != WAL_MAGIC {
+        return Err(corrupt("bad magic (not a tc-wal file)"));
+    }
+    let stored = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if stored != crc32(&bytes[..12]) {
+        return Err(LoadError::checksum("wal: file header damaged".to_string()));
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != WAL_VERSION {
+        return Err(corrupt(format!(
+            "unsupported wal version {version} (expected {WAL_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<WalRecord> {
+        vec![
+            WalRecord::AddItem {
+                name: "data mining".into(),
+            },
+            WalRecord::AddItem {
+                name: String::new(),
+            },
+            WalRecord::AddDatabase { vertex: 7 },
+            WalRecord::AddEdge { u: 0, v: 42 },
+            WalRecord::AddTransaction {
+                vertex: 3,
+                items: vec![0, 1, 5],
+            },
+            WalRecord::AddTransaction {
+                vertex: 0,
+                items: vec![],
+            },
+            WalRecord::Checkpoint { folded: u64::MAX },
+        ]
+    }
+
+    #[test]
+    fn payload_roundtrip_every_variant() {
+        for rec in all_variants() {
+            let bytes = rec.encode_payload().unwrap();
+            assert_eq!(WalRecord::decode_payload(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn payload_rejects_trailing_and_truncated_bytes() {
+        for rec in all_variants() {
+            let mut bytes = rec.encode_payload().unwrap();
+            bytes.push(0);
+            assert!(
+                WalRecord::decode_payload(&bytes)
+                    .unwrap_err()
+                    .is_corruption(),
+                "trailing byte accepted for {rec:?}"
+            );
+            bytes.pop();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WalRecord::decode_payload(&bytes[..cut]).is_err()
+                        || WalRecord::decode_payload(&bytes[..cut]).unwrap() != rec.clone(),
+                    "truncation to {cut} decoded as the full record for {rec:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_and_unknown_tag_rejected() {
+        let loop_edge = WalRecord::AddEdge { u: 9, v: 9 };
+        let bytes = loop_edge.encode_payload().unwrap();
+        assert!(WalRecord::decode_payload(&bytes)
+            .unwrap_err()
+            .is_corruption());
+        assert!(WalRecord::decode_payload(&[99, 0, 0])
+            .unwrap_err()
+            .is_corruption());
+        assert!(WalRecord::decode_payload(&[]).unwrap_err().is_corruption());
+    }
+
+    #[test]
+    fn frame_crc_covers_len_and_seqno() {
+        let rec = WalRecord::AddEdge { u: 1, v: 2 };
+        let frame = rec.encode_frame(5).unwrap();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + 9);
+        let stored = u32::from_le_bytes([frame[12], frame[13], frame[14], frame[15]]);
+        let mut h = tc_util::Crc32::new();
+        h.update(&frame[..12]);
+        h.update(&frame[FRAME_HEADER_LEN..]);
+        assert_eq!(stored, h.finish());
+        // Same record, different seqno: different CRC.
+        let other = rec.encode_frame(6).unwrap();
+        let stored2 = u32::from_le_bytes([other[12], other[13], other[14], other[15]]);
+        assert_ne!(stored, stored2);
+    }
+
+    #[test]
+    fn header_roundtrip_and_damage() {
+        let h = encode_header();
+        check_header(&h).unwrap();
+        for byte in 0..WAL_HEADER_LEN {
+            let mut bad = h;
+            bad[byte] ^= 0x10;
+            assert!(
+                check_header(&bad).unwrap_err().is_corruption(),
+                "flip at header byte {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_record_rejected_at_encode() {
+        let rec = WalRecord::AddItem {
+            name: "x".repeat(MAX_RECORD_LEN + 1),
+        };
+        let err = rec.encode_frame(1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

@@ -82,6 +82,28 @@ impl TransactionDb {
         self.tidsets.get(&item)
     }
 
+    /// Reconstructs the horizontal transactions from the vertical tidsets,
+    /// in canonical form: transactions in tid order, items within each
+    /// transaction sorted ascending.
+    ///
+    /// Every persistence format (text, segment, WAL replay) writes
+    /// transactions through this one reconstruction, which is what makes a
+    /// save a pure function of the database content — the byte-identity
+    /// property the round-trip and checkpoint tests rely on.
+    pub fn transactions(&self) -> Vec<Vec<Item>> {
+        let mut transactions = vec![Vec::new(); self.num_transactions];
+        let mut items: Vec<Item> = self.items().collect();
+        items.sort_unstable();
+        for item in items {
+            if let Some(tidset) = self.tidsets.get(&item) {
+                for tid in tidset.iter() {
+                    transactions[tid].push(item);
+                }
+            }
+        }
+        transactions
+    }
+
     /// Absolute support of a pattern: number of transactions containing
     /// **all** of its items. The empty pattern is contained in every
     /// transaction.
@@ -325,6 +347,24 @@ mod tests {
         let db = b.build();
         assert_eq!(db.item_support(Item(5)), 2);
         assert_eq!(db.item_support(Item(6)), 1);
+    }
+
+    #[test]
+    fn transactions_reconstruct_canonically() {
+        let db = sample_db();
+        let txs = db.transactions();
+        assert_eq!(txs.len(), db.num_transactions());
+        // tid order matches insertion, items sorted within each.
+        assert_eq!(txs[0], items(&[0, 1]));
+        assert_eq!(txs[2], items(&[0, 1, 2]));
+        assert_eq!(txs[5], items(&[2]));
+        for t in &txs {
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "unsorted {t:?}");
+        }
+        // Rebuilding from the reconstruction is a fixed point.
+        let rebuilt = TransactionDb::from_transactions(txs.clone());
+        assert_eq!(rebuilt.transactions(), txs);
+        assert_eq!(rebuilt.num_transactions(), db.num_transactions());
     }
 
     #[test]
