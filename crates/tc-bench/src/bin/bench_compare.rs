@@ -22,9 +22,12 @@
 //!   Sub-millisecond timings are reported but never gated (they are
 //!   scheduler noise at smoke scale).
 //! * `*_qps` — throughput floor; 4× band.
-//! * speedup/ratio metrics (`*_speedup*`, `ws_vs_barrier_*`) and counts
-//!   are recorded for the trajectory but not gated: at `--quick` smoke
-//!   scale they are ratios of sub-millisecond timings.
+//! * speedup metrics (`*_speedup*`) — gated (higher-is-better, 2× band)
+//!   **only when both reports record the same `host`/`parallelism`**: a
+//!   parallel speedup measured on an 8-core baseline host is meaningless
+//!   on a 1-core PR runner, so on a core-count mismatch these downgrade
+//!   to informational (with a printed note). Other ratios
+//!   (`ws_vs_barrier_*`) and counts are always trajectory-only.
 //! * a tracked baseline metric *missing* from the current run fails —
 //!   silently dropping a bench section must not pass the gate.
 //!
@@ -116,7 +119,7 @@ enum Policy {
     Informational,
 }
 
-fn policy(metric: &str, baseline: f64) -> Policy {
+fn policy(metric: &str, baseline: f64, hosts_match: bool) -> Policy {
     if metric.ends_with("_bytes") {
         Policy::LowerIsBetter(0.10)
     } else if metric.ends_with("_qps") {
@@ -129,10 +132,29 @@ fn policy(metric: &str, baseline: f64) -> Policy {
         } else {
             Policy::Informational
         }
+    } else if metric.contains("_speedup") {
+        // A speedup ratio only transfers between hosts with the same
+        // core count; across different hosts it is recorded, not gated.
+        if hosts_match {
+            Policy::HigherIsBetter(0.50)
+        } else {
+            Policy::Informational
+        }
     } else {
-        // Ratios (speedups, ws_vs_barrier) and counts: trajectory only.
+        // Other ratios (ws_vs_barrier) and counts: trajectory only.
         Policy::Informational
     }
+}
+
+/// The `host`/`parallelism` datapoint of a merged report — recorded by
+/// every bench binary as the core count it ran on. `None` for reports
+/// predating the metric.
+fn host_parallelism(report: &JsonReport) -> Option<f64> {
+    report
+        .metrics()
+        .iter()
+        .find(|(g, m, _)| m == "parallelism" && (g == "host" || g.ends_with(":host")))
+        .map(|(_, _, v)| *v)
 }
 
 fn main() -> ExitCode {
@@ -163,6 +185,20 @@ fn main() -> ExitCode {
         println!("wrote merged report to {}", path.display());
     }
     let baseline = merge(std::slice::from_ref(&baseline));
+
+    // Speedup-ratio gates only hold between same-shaped hosts.
+    let base_host = host_parallelism(&baseline);
+    let cur_host = host_parallelism(&current);
+    let hosts_match = matches!((base_host, cur_host), (Some(b), Some(c)) if b == c);
+    if !hosts_match {
+        let show = |h: Option<f64>| h.map_or("unrecorded".to_string(), |v| format!("{v:.0} cores"));
+        println!(
+            "host parallelism differs (baseline: {}, current: {}) — speedup ratios are \
+             informational this run",
+            show(base_host),
+            show(cur_host)
+        );
+    }
 
     let lookup: std::collections::HashMap<(&str, &str), f64> = current
         .metrics()
@@ -216,7 +252,7 @@ fn main() -> ExitCode {
         } else {
             "—".into()
         };
-        let verdict = match policy(metric, *base) {
+        let verdict = match policy(metric, *base, hosts_match) {
             Policy::Informational => "info",
             Policy::LowerIsBetter(tol) => {
                 gated += 1;

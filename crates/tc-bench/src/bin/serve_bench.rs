@@ -18,6 +18,15 @@
 //!   the slot must readmit after release. Failures abort the bench, so
 //!   the telemetry only ever records a daemon whose admission control
 //!   works.
+//! * **http** — the same client-count sweep through the HTTP/JSON
+//!   gateway (`GET /qba`, `GET /qbp` over keep-alive
+//!   [`tc_serve::HttpClient`] sessions), so the gateway's parse/encode
+//!   overhead relative to the line protocol stays measured.
+//! * **batch** — `POST /query` pipelining: one client, batch sizes 1, 8,
+//!   and 64, reported as queries/second and per-batch round-trip p50 —
+//!   the amortisation curve of request framing. The section ends by
+//!   scraping `/metrics` and asserting the per-verb counters actually
+//!   moved (a bench of an unobservable daemon proves nothing).
 //!
 //! With `--json <path>` everything lands in the `tc-bench/v1` report
 //! (bench name `serving`, so `bench_compare` merges the groups as
@@ -28,7 +37,7 @@
 use tc_bench::report::JsonReport;
 use tc_bench::{build_dataset, fmt_count, fmt_secs, percentile, BenchArgs, Dataset, Table};
 use tc_index::TcTreeBuilder;
-use tc_serve::{ServeClient, ServeConfig, Server};
+use tc_serve::{HttpClient, ServeClient, ServeConfig, Server};
 use tc_store::SegmentTcTree;
 use tc_util::Stopwatch;
 
@@ -213,6 +222,145 @@ fn main() {
         "admission",
         "serve_busy_rejections",
         probe_stats.rejected_busy as f64,
+    );
+
+    // ---- HTTP gateway sweep --------------------------------------------
+    let server = Server::bind(
+        open_segment_copy(&seg_bytes),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: WORKERS,
+            max_inflight: clients_grid.iter().copied().max().unwrap_or(1) * 4,
+            http_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind http daemon");
+    let http_tcp_addr = server.local_addr().expect("local addr").to_string();
+    let http_addr = server
+        .local_http_addr()
+        .expect("http gateway configured")
+        .expect("http local addr")
+        .to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("http daemon run"));
+
+    let mut table = Table::new(
+        format!("HTTP gateway QPS vs client count ({WORKERS} server workers, {per_client} requests/client)"),
+        &["Clients", "QPS", "p50", "p99"],
+    );
+    for &clients in &clients_grid {
+        let sw = Stopwatch::start();
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let (http_addr, alphas, singles) = (&http_addr, &alphas, &singles);
+                    scope.spawn(move || {
+                        let mut client =
+                            HttpClient::connect(http_addr).expect("connect http client");
+                        let mut lat = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let pick = c + i;
+                            let sw = Stopwatch::start();
+                            let resp = if pick % 2 == 0 || singles.is_empty() {
+                                let alpha = alphas[(pick / 2) % alphas.len()];
+                                client.get(&format!("/qba?alpha={alpha}"))
+                            } else {
+                                let q = &singles[(pick / 2) % singles.len()];
+                                let items =
+                                    q.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+                                client.get(&format!("/qbp?items={items}"))
+                            };
+                            assert!(
+                                resp.expect("http request under load").is_ok(),
+                                "http error under load"
+                            );
+                            lat.push(sw.elapsed_secs());
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("http client panicked"))
+                .collect()
+        });
+        let wall = sw.elapsed_secs();
+        latencies.sort_unstable_by(f64::total_cmp);
+        let qps = (clients * per_client) as f64 / wall;
+        let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+        json.push("http", format!("http_c{clients}_qps"), qps);
+        json.push("http", format!("http_c{clients}_p50_secs"), p50);
+        json.push("http", format!("http_c{clients}_p99_secs"), p99);
+        table.push_row(vec![
+            clients.to_string(),
+            format!("{qps:.0}"),
+            fmt_secs(p50),
+            fmt_secs(p99),
+        ]);
+    }
+    table.print();
+
+    // ---- Batch-pipeline sweep ------------------------------------------
+    let batches = if args.quick { 20 } else { 200 };
+    let mut table = Table::new(
+        format!("POST /query batch pipelining ({batches} batches/size, single client)"),
+        &["Batch size", "queries/s", "batch p50"],
+    );
+    let mut client = HttpClient::connect(&http_addr).expect("connect batch client");
+    for &size in &[1usize, 8, 64] {
+        let body = format!(
+            "[{}]",
+            (0..size)
+                .map(|i| format!("{{\"alpha\":{}}}", alphas[i % alphas.len()]))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let mut lat = Vec::with_capacity(batches);
+        let sw = Stopwatch::start();
+        for _ in 0..batches {
+            let one = Stopwatch::start();
+            let resp = client.post("/query", &body).expect("batch post");
+            assert!(resp.is_ok(), "batch error: {}", resp.body);
+            lat.push(one.elapsed_secs());
+        }
+        let wall = sw.elapsed_secs();
+        lat.sort_unstable_by(f64::total_cmp);
+        let qps = (batches * size) as f64 / wall;
+        let p50 = percentile(&lat, 0.5);
+        json.push("batch", format!("batch_b{size}_qps"), qps);
+        json.push("batch", format!("batch_b{size}_p50_secs"), p50);
+        table.push_row(vec![size.to_string(), format!("{qps:.0}"), fmt_secs(p50)]);
+    }
+    table.print();
+
+    // The bench only counts if the daemon was observable while it ran:
+    // scrape /metrics and require the per-verb counters to have moved.
+    let metrics = client.get("/metrics").expect("scrape /metrics");
+    assert!(metrics.is_ok(), "metrics scrape failed: {}", metrics.status);
+    for needle in [
+        "tcserve_requests_total{verb=\"qba\"}",
+        "tcserve_requests_total{verb=\"batch\"}",
+        "tcserve_request_latency_seconds_count{verb=\"qba\"}",
+    ] {
+        let line = metrics
+            .body
+            .lines()
+            .find(|l| l.starts_with(needle))
+            .unwrap_or_else(|| panic!("missing metric {needle}"));
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().expect("value");
+        assert!(value > 0.0, "{needle} never moved");
+    }
+    json.push("http", "http_metrics_scrape_ok", 1.0);
+
+    let handle_stats = {
+        let shutdown = ServeClient::connect(&http_tcp_addr).expect("connect for http shutdown");
+        shutdown.shutdown_server().expect("http daemon shutdown");
+        daemon.join().expect("http daemon thread")
+    };
+    assert_eq!(
+        handle_stats.rejected_busy, 0,
+        "http sweep must stay under the admission limit"
     );
 
     if let Some(path) = &args.json {

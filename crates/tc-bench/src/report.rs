@@ -315,6 +315,35 @@ mod tests {
     }
 
     #[test]
+    fn json_reader_round_trips_own_report_format() {
+        use crate::jsonin::{parse, JsonValue};
+        let mut r = JsonReport::new("storage");
+        r.push("BK", "tree_seg_bytes", 4096.0);
+        r.push("BK", "warm_qba_secs", 1.5e-5);
+        r.push("BK", "nan_metric", f64::NAN);
+        let v = parse(&r.render()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(JsonValue::as_str),
+            Some("tc-bench/v1")
+        );
+        let metrics = v.get("metrics").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(
+            metrics[0].get("metric").and_then(JsonValue::as_str),
+            Some("tree_seg_bytes")
+        );
+        assert_eq!(
+            metrics[0].get("value").and_then(JsonValue::as_num),
+            Some(4096.0)
+        );
+        assert!(metrics[2]
+            .get("value")
+            .and_then(JsonValue::as_num)
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
     fn fmt_secs_ranges() {
         assert_eq!(fmt_secs(2.5), "2.50 s");
         assert_eq!(fmt_secs(0.0025), "2.50 ms");

@@ -41,27 +41,42 @@ fn edit_distance(a: &str, b: &str) -> usize {
 impl Flags {
     /// Parses `args` against the subcommand's `known` flag names.
     fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
+        Flags::parse_with_switches(args, known, &[])
+    }
+
+    /// Like [`Flags::parse`], but flags named in `switches` take no
+    /// value — their presence alone is the signal (read with
+    /// [`Flags::has`]).
+    fn parse_with_switches(
+        args: &[String],
+        known: &[&str],
+        switches: &[&str],
+    ) -> Result<Flags, String> {
         let mut positional = Vec::new();
         let mut options = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if switches.contains(&key) {
+                    options.push((key.to_string(), String::new()));
+                    continue;
+                }
                 if !known.contains(&key) {
-                    let suggestion = known
+                    let all: Vec<&str> = known.iter().chain(switches).copied().collect();
+                    let suggestion = all
                         .iter()
                         .map(|k| (edit_distance(key, k), k))
                         .min()
                         .filter(|(d, _)| *d <= 2)
-                        .map(|(_, k)| k);
+                        .map(|(_, k)| *k);
                     return Err(match suggestion {
                         Some(s) => format!("unknown flag --{key} (did you mean --{s}?)"),
-                        None if known.is_empty() => {
+                        None if all.is_empty() => {
                             format!("unknown flag --{key} (this subcommand takes no flags)")
                         }
                         None => format!(
                             "unknown flag --{key} (expected one of: {})",
-                            known
-                                .iter()
+                            all.iter()
                                 .map(|k| format!("--{k}"))
                                 .collect::<Vec<_>>()
                                 .join(", ")
@@ -80,6 +95,11 @@ impl Flags {
             positional,
             options,
         })
+    }
+
+    /// Whether a switch flag was present.
+    fn has(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -443,11 +463,16 @@ fn print_trusses<'a>(
     }
 }
 
-/// `tc query <tree.tct|tree.seg> [--alpha F] [--pattern a,b,c] [--network net.dbnet]`
+/// `tc query <tree.tct|tree.seg> [--alpha F] [--pattern a,b,c] [--network net.dbnet] [--json]`
 /// `tc query --remote HOST:PORT [--alpha F] [--pattern a,b,c] [--network net.dbnet]
-///  [--retries N] [--retry-max-delay MS]`
+///  [--retries N] [--retry-max-delay MS] [--json]`
+///
+/// With `--json` the answer is printed as the serving wire object —
+/// one line, identical to what the daemon's `JSON` frames and HTTP
+/// bodies carry — so local and remote answers are byte-comparable
+/// (CI's `http-smoke` job diffs exactly this against `curl`).
 pub fn query(args: &[String]) -> i32 {
-    let flags = match Flags::parse(
+    let flags = match Flags::parse_with_switches(
         args,
         &[
             "alpha",
@@ -457,10 +482,12 @@ pub fn query(args: &[String]) -> i32 {
             "retries",
             "retry-max-delay",
         ],
+        &["json"],
     ) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
+    let as_json = flags.has("json");
     let alpha = match flags.get_f64("alpha", 0.0) {
         Ok(a) => a,
         Err(e) => return fail(e),
@@ -500,7 +527,14 @@ pub fn query(args: &[String]) -> i32 {
             max_delay: retry_max_delay,
             ..tc_serve::RetryPolicy::default()
         };
-        return query_remote(addr, &policy, pattern.as_ref(), alpha, net.as_ref());
+        return query_remote(
+            addr,
+            &policy,
+            pattern.as_ref(),
+            alpha,
+            net.as_ref(),
+            as_json,
+        );
     }
     if flags.get("retries").is_some() || flags.get("retry-max-delay").is_some() {
         return fail("--retries/--retry-max-delay apply to --remote queries only");
@@ -525,6 +559,13 @@ pub fn query(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
 
+    if as_json {
+        print!(
+            "{}",
+            tc_serve::QueryResponse::from_result(&result).encode_json()
+        );
+        return 0;
+    }
     println!(
         "retrieved {} maximal pattern trusses in {:.6}s ({} nodes visited)",
         result.retrieved_nodes, result.elapsed_secs, result.visited_nodes
@@ -554,6 +595,7 @@ fn query_remote(
     pattern: Option<&Pattern>,
     alpha: f64,
     net: Option<&DatabaseNetwork>,
+    as_json: bool,
 ) -> i32 {
     let mut client = match tc_serve::ServeClient::connect_with_retry(addr, policy) {
         Ok(c) => c,
@@ -567,6 +609,11 @@ fn query_remote(
         Ok(r) => r,
         Err(e) => return fail(format!("{addr}: {e}")),
     };
+    if as_json {
+        print!("{}", result.encode_json());
+        let _ = client.quit();
+        return 0;
+    }
     println!(
         "retrieved {} maximal pattern trusses in {:.6}s ({} nodes visited)",
         result.retrieved, result.elapsed_secs, result.visited
@@ -587,27 +634,38 @@ fn query_remote(
     0
 }
 
-/// `tc serve <tree.seg> [--addr HOST:PORT] [--workers N] [--max-inflight N]
-///  [--session-timeout SECS]`
+/// `tc serve <tree.seg> [--addr HOST:PORT] [--http-addr HOST:PORT] [--workers N]
+///  [--max-inflight N] [--session-timeout SECS] [--rate-limit N]`
 ///
-/// Opens a TC-Tree segment once and serves QBA/QBP/QUERY over TCP until
-/// SIGTERM/SIGINT or a client's `SHUTDOWN` verb. Admission is bounded:
-/// beyond `--max-inflight` concurrent sessions, new connections are
-/// answered with a one-line `BUSY` greeting and closed. Sessions idle
-/// longer than `--session-timeout` seconds (default 300; 0 disables) are
-/// closed to free their admission slot.
+/// Opens a TC-Tree segment once and serves QBA/QBP/QUERY over TCP — and,
+/// with `--http-addr`, over the HTTP/JSON gateway too — until
+/// SIGTERM/SIGINT or a client's `SHUTDOWN` verb. `SIGHUP` re-opens the
+/// segment path and hot-swaps it in without dropping sessions. Admission
+/// is bounded: beyond `--max-inflight` concurrent sessions, new
+/// connections are answered with a one-line `BUSY` greeting (TCP) or a
+/// `503` (HTTP) and closed. `--rate-limit N` additionally caps each
+/// client IP at N requests/second (0, the default, disables). Sessions
+/// idle longer than `--session-timeout` seconds (default 300; 0
+/// disables) are closed to free their admission slot.
 pub fn serve(args: &[String]) -> i32 {
     let flags = match Flags::parse(
         args,
-        &["addr", "workers", "max-inflight", "session-timeout"],
+        &[
+            "addr",
+            "http-addr",
+            "workers",
+            "max-inflight",
+            "session-timeout",
+            "rate-limit",
+        ],
     ) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
     let Some(path) = flags.positional.first() else {
         return fail(
-            "usage: tc serve <tree.seg> [--addr host:port] [--workers N] [--max-inflight N] \
-             [--session-timeout secs]",
+            "usage: tc serve <tree.seg> [--addr host:port] [--http-addr host:port] \
+             [--workers N] [--max-inflight N] [--session-timeout secs] [--rate-limit per-sec]",
         );
     };
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7641");
@@ -622,6 +680,12 @@ pub fn serve(args: &[String]) -> i32 {
     let idle_timeout = match flags.get_usize("session-timeout", 300) {
         Ok(0) => None,
         Ok(secs) => Some(std::time::Duration::from_secs(secs as u64)),
+        Err(e) => return fail(e),
+    };
+    let http_addr = flags.get("http-addr").map(str::to_string);
+    let rate_limit = match flags.get_usize("rate-limit", 0) {
+        Ok(0) => None,
+        Ok(per_sec) => Some(tc_serve::RateLimit::per_second(per_sec as f64)),
         Err(e) => return fail(e),
     };
 
@@ -655,6 +719,9 @@ pub fn serve(args: &[String]) -> i32 {
             workers,
             max_inflight,
             idle_timeout,
+            http_addr,
+            rate_limit,
+            reload_path: Some(std::path::PathBuf::from(path)),
         },
     ) {
         Ok(s) => s,
@@ -667,6 +734,12 @@ pub fn serve(args: &[String]) -> i32 {
     println!(
         "tc-serve listening on {local} ({path}, workers={workers}, max-inflight={max_inflight})"
     );
+    if let Some(http) = server.local_http_addr() {
+        match http {
+            Ok(a) => println!("tc-serve http gateway on {a} (GET /healthz, /metrics, /qba, /qbp, /query; POST /query)"),
+            Err(e) => return fail(e),
+        }
+    }
     // Piped stdout is block-buffered: flush so supervisors (and the smoke
     // test) can read the resolved address before the first connection.
     let _ = std::io::Write::flush(&mut std::io::stdout());
@@ -1215,6 +1288,21 @@ mod tests {
     }
 
     #[test]
+    fn switch_flags_take_no_value_and_get_suggestions() {
+        let f = Flags::parse_with_switches(
+            &strs(&["tree.seg", "--json", "--alpha", "0.2"]),
+            &["alpha"],
+            &["json"],
+        )
+        .unwrap();
+        assert!(f.has("json"));
+        assert_eq!(f.get("alpha"), Some("0.2"));
+        assert_eq!(f.positional, vec!["tree.seg".to_string()]);
+        let err = Flags::parse_with_switches(&strs(&["--jsno"]), &[], &["json"]).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+    }
+
+    #[test]
     fn remote_query_round_trips_against_a_daemon() {
         let dir = std::env::temp_dir().join("tc_cli_remote_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1263,6 +1351,12 @@ mod tests {
             ])),
             0
         );
+        // --json prints the wire object for both arms; same exit paths.
+        assert_eq!(
+            query(&strs(&["--remote", &addr, "--alpha", "0.1", "--json"])),
+            0
+        );
+        assert_eq!(query(&strs(&[&s(&tree), "--alpha", "0.1", "--json"])), 0);
         // A tree path alongside --remote is contradictory.
         assert_eq!(
             query(&strs(&[&s(&tree), "--remote", &addr, "--alpha", "0.1"])),

@@ -5,9 +5,10 @@
 //! tc stats   <net>
 //! tc mine    <net> --alpha F [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]
 //! tc index   <net> --out tree.tct|tree.seg [--threads N] [--format auto|text|seg]
-//! tc query   <tree> [--alpha F] [--pattern i1,i2,…] [--network net]
-//! tc query   --remote host:port [--alpha F] [--pattern i1,i2,…] [--network net]
-//! tc serve   <tree.seg> [--addr host:port] [--workers N] [--max-inflight N]
+//! tc query   <tree> [--alpha F] [--pattern i1,i2,…] [--network net] [--json]
+//! tc query   --remote host:port [--alpha F] [--pattern i1,i2,…] [--network net] [--json]
+//! tc serve   <tree.seg> [--addr host:port] [--http-addr host:port] [--workers N]
+//!            [--max-inflight N] [--rate-limit per-sec]
 //! tc ingest  <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
 //! tc checkpoint <net.wal> --out <net.seg> [--base base.seg]
 //! tc convert <in> <out> [--to auto|text|seg]
@@ -56,9 +57,10 @@ USAGE:
   tc stats    <net>
   tc mine     <net> --alpha <F> [--miner tcfi|tcfa|tcs] [--threads N] [--epsilon F] [--top N]
   tc index    <net> --out <tree.tct|tree.seg> [--threads N] [--format auto|text|seg]
-  tc query    <tree> [--alpha F] [--pattern items] [--network net]
-  tc query    --remote <host:port> [--alpha F] [--pattern items] [--network net]
-  tc serve    <tree.seg> [--addr host:port] [--workers N] [--max-inflight N] [--session-timeout secs]
+  tc query    <tree> [--alpha F] [--pattern items] [--network net] [--json]
+  tc query    --remote <host:port> [--alpha F] [--pattern items] [--network net] [--json]
+  tc serve    <tree.seg> [--addr host:port] [--http-addr host:port] [--workers N] [--max-inflight N]
+              [--session-timeout secs] [--rate-limit per-sec]
   tc ingest   <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
   tc checkpoint <net.wal> --out <net.seg> [--base base.seg]
   tc convert  <in> <out> [--to auto|text|seg]
@@ -69,8 +71,14 @@ when the output path ends in .seg. --threads defaults to every core
 (mine with >1 thread uses the work-stealing TCFI variant, index the
 parallel layer fan-out); results are identical at every thread count.
 tc serve answers QBA/QBP over TCP with bounded admission (connections
-beyond --max-inflight get a BUSY greeting); stop it with SIGTERM or a
-client's SHUTDOWN verb. tc ingest appends to a crash-safe write-ahead
+beyond --max-inflight get a BUSY greeting) and, with --http-addr, over
+an HTTP/JSON gateway too (GET /qba, /qbp, /query; POST /query batches;
+GET /healthz and Prometheus GET /metrics). --rate-limit caps each
+client IP at N requests/second on top of the inflight bound. SIGHUP
+re-opens the segment and hot-swaps it without dropping sessions; stop
+the daemon with SIGTERM or a client's SHUTDOWN verb. tc query --json
+prints the serving wire object, byte-comparable with curl of /qba or
+/qbp. tc ingest appends to a crash-safe write-ahead
 log (ops lines: item NAME / db V / edge U V / tx V a,b,c); tc
 checkpoint folds log + base segment into a fresh segment and resets
 the log.
@@ -81,8 +89,9 @@ EXAMPLES:
   tc index aminer.dbnet --out aminer.seg --format seg
   tc query aminer.seg --alpha 0.2
   tc query aminer.seg --pattern 'data mining,sequential pattern' --network aminer.dbnet
-  tc serve aminer.seg --addr 127.0.0.1:7641 --workers 4 --max-inflight 64
+  tc serve aminer.seg --addr 127.0.0.1:7641 --http-addr 127.0.0.1:8080 --rate-limit 50
   tc query --remote 127.0.0.1:7641 --alpha 0.2 --retries 5
+  curl 'http://127.0.0.1:8080/qba?alpha=0.2'
   tc ingest net.wal --ops mutations.txt --base net.seg
   tc checkpoint net.wal --base net.seg --out net2.seg
   tc convert aminer.dbnet aminer.seg"

@@ -1,0 +1,848 @@
+//! The HTTP/1.1 + JSON gateway: the same queries as the line protocol,
+//! reachable with `curl`, plus the Prometheus scrape endpoint.
+//!
+//! Built on `std::net` only, like the rest of the daemon — requests are
+//! parsed by hand against a deliberately small grammar and answered from
+//! the same worker pool, admission bound, counters, and hot-swappable
+//! segment as the TCP front-end.
+//!
+//! ## Endpoints
+//!
+//! ```text
+//! GET  /healthz                      liveness + directory facts
+//! GET  /metrics                      Prometheus text exposition (0.0.4)
+//! GET  /qba?alpha=<F>                query-by-alpha
+//! GET  /qbp?items=<i1,i2,…|->        query-by-pattern (alpha = 0)
+//! GET  /query?items=<…>&alpha=<F>    the general (q, alpha) query
+//! POST /query                        pipelined batch (JSON body)
+//! ```
+//!
+//! Query responses are the same JSON objects the line protocol's `JSON`
+//! frames carry (`{"status":"ok","retrieved":…,"visited":…,"secs":…,
+//! "trusses":[…]}`), so a `curl` answer is byte-comparable to
+//! `tc query --json` output — CI's `http-smoke` job does exactly that.
+//! Item ids and alpha are plain numerals, so no percent-decoding is
+//! needed (and none is performed; `%` in a target is a `400`).
+//!
+//! ## Batch bodies
+//!
+//! `POST /query` takes either a bare JSON array of query objects or
+//! `{"queries":[…]}`. Each object names `items` (array of ids) and/or
+//! `alpha` (number): both → `QUERY`, alpha only → `QBA`, items only →
+//! `QBP`, neither → the batch is rejected. The response is
+//! `{"status":"ok","count":N,"results":[…]}` with one result object per
+//! query, in order; a query that fails server-side yields an inline
+//! `{"status":"err",…}` object without failing its neighbours.
+//!
+//! ## Errors and robustness
+//!
+//! Every error is a JSON body with a conventional status code: `400`
+//! (malformed request line, header, parameter, or body — the connection
+//! closes, since framing may be lost), `404`/`405` (unknown path / wrong
+//! method), `413` (body over 1 MiB), `429` (per-client rate limit, with
+//! `Retry-After`), `500` (server-side query failure), `503` (admission
+//! bound or shutdown). Malformed input can never panic or hang the
+//! worker: all reads are capped and tick against the shutdown flag and
+//! idle timeout, exactly like the line protocol.
+
+use crate::protocol::{encode_error, parse_alpha, parse_items, QueryResponse};
+use crate::server::{pattern_of, Inner, READ_TICK};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use tc_store::SegmentTcTree;
+use tc_util::json::{parse as parse_json, JsonValue};
+
+/// Longest accepted request or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted `POST /query` body, in bytes.
+const MAX_BODY: usize = 1024 * 1024;
+/// Most queries accepted in one batch body.
+pub const MAX_BATCH: usize = 4096;
+
+/// JSON content type for API responses.
+const CT_JSON: &str = "application/json";
+/// The Prometheus text exposition content type.
+const CT_METRICS: &str = "text/plain; version=0.0.4";
+
+fn reason_phrase(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete response and counts it. `close` adds
+/// `Connection: close`; the caller must then end the session.
+fn respond(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason_phrase(code),
+        body.len()
+    );
+    if code == 429 || code == 503 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    inner.metrics.count_http_response(code);
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// The admission-control rejection, written straight from the accept
+/// loop (the session was never queued, so no worker is involved).
+pub(crate) fn write_busy_503(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    reason: &str,
+) -> std::io::Result<()> {
+    respond(inner, stream, 503, CT_JSON, &json_err(reason), true)
+}
+
+/// One-line JSON error body (no trailing newline lost — bodies are
+/// length-delimited, the newline is cosmetic for `curl`).
+fn json_err(msg: &str) -> String {
+    encode_error(msg, true)
+}
+
+/// A socket reader that ticks: blocked reads wake every [`READ_TICK`] to
+/// re-check the shutdown flag and the idle clock, so a byte-trickling or
+/// half-dead client can neither hang a worker nor survive shutdown.
+struct TickReader<'a> {
+    reader: BufReader<TcpStream>,
+    inner: &'a Inner,
+    idle: Duration,
+}
+
+/// Why a ticked read stopped short of data.
+enum ReadStop {
+    /// Clean end of stream before any byte of the current read.
+    Eof,
+    /// The daemon is shutting down; end the session quietly.
+    Shutdown,
+    /// The session idled past the configured timeout.
+    IdleTimeout,
+    /// The line outgrew [`MAX_LINE`].
+    TooLong,
+}
+
+impl TickReader<'_> {
+    /// Reads one `\n`-terminated line (CRLF tolerated), stripped.
+    fn read_line(&mut self, line: &mut String) -> std::io::Result<Result<(), ReadStop>> {
+        line.clear();
+        loop {
+            match self.reader.read_line(line) {
+                Ok(0) => {
+                    return Ok(Err(if line.is_empty() {
+                        ReadStop::Eof
+                    } else {
+                        ReadStop::Shutdown // mid-line EOF: nothing to answer
+                    }));
+                }
+                Ok(_) => {
+                    self.idle = Duration::ZERO;
+                    while line.ends_with('\n') || line.ends_with('\r') {
+                        line.pop();
+                    }
+                    if line.len() > MAX_LINE {
+                        return Ok(Err(ReadStop::TooLong));
+                    }
+                    return Ok(Ok(()));
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if let Some(stop) = self.tick()? {
+                        return Ok(Err(stop));
+                    }
+                    // Partial bytes already in `line` survive the retry,
+                    // but only a complete line resets the idle clock.
+                    if line.len() > MAX_LINE {
+                        return Ok(Err(ReadStop::TooLong));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads exactly `len` body bytes.
+    fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<Result<(), ReadStop>> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) => return Ok(Err(ReadStop::Eof)),
+                Ok(n) => {
+                    filled += n;
+                    self.idle = Duration::ZERO;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if let Some(stop) = self.tick()? {
+                        return Ok(Err(stop));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    /// One timeout tick: advances the idle clock, reports shutdown or
+    /// idle expiry.
+    fn tick(&mut self) -> std::io::Result<Option<ReadStop>> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(Some(ReadStop::Shutdown));
+        }
+        self.idle += READ_TICK;
+        if let Some(limit) = self.inner.cfg.idle_timeout {
+            if self.idle >= limit {
+                return Ok(Some(ReadStop::IdleTimeout));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Serves one admitted HTTP connection (keep-alive: many requests) until
+/// the client closes, an error closes it, or shutdown drains it.
+pub(crate) fn serve_http_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = TickReader {
+        reader: BufReader::new(stream.try_clone()?),
+        inner,
+        idle: Duration::ZERO,
+    };
+    let mut stream = stream;
+    let client_ip = stream.peer_addr().ok().map(|a| a.ip());
+
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line)? {
+            Ok(()) => {}
+            Err(ReadStop::Eof | ReadStop::Shutdown) => return Ok(()),
+            Err(ReadStop::IdleTimeout) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "session idle timeout",
+                ));
+            }
+            Err(ReadStop::TooLong) => {
+                inner
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                respond(
+                    inner,
+                    &mut stream,
+                    400,
+                    CT_JSON,
+                    &json_err("request line too long"),
+                    true,
+                )?;
+                return Ok(());
+            }
+        }
+        if line.is_empty() {
+            continue; // tolerate a stray blank line between requests
+        }
+
+        // ---- request line -------------------------------------------------
+        let bad_request = |inner: &Inner, stream: &mut TcpStream, msg: &str| {
+            inner
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            respond(inner, stream, 400, CT_JSON, &json_err(msg), true)
+        };
+        let parts: Vec<&str> = line.split(' ').filter(|t| !t.is_empty()).collect();
+        let [method, target, version] = parts.as_slice() else {
+            bad_request(inner, &mut stream, "malformed request line")?;
+            return Ok(());
+        };
+        if !version.starts_with("HTTP/1.") {
+            bad_request(inner, &mut stream, "only HTTP/1.0 and HTTP/1.1 are spoken")?;
+            return Ok(());
+        }
+        let (method, target, version) = (method.to_string(), target.to_string(), *version);
+        let http10 = version == "HTTP/1.0";
+
+        // ---- headers ------------------------------------------------------
+        let mut content_length: usize = 0;
+        let mut connection = String::new();
+        let mut header_count = 0usize;
+        let mut header = String::new();
+        loop {
+            match reader.read_line(&mut header)? {
+                Ok(()) => {}
+                Err(ReadStop::TooLong) => {
+                    bad_request(inner, &mut stream, "header line too long")?;
+                    return Ok(());
+                }
+                Err(ReadStop::IdleTimeout) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "session idle timeout",
+                    ));
+                }
+                Err(_) => return Ok(()), // EOF/shutdown mid-headers
+            }
+            if header.is_empty() {
+                break;
+            }
+            header_count += 1;
+            if header_count > MAX_HEADERS {
+                bad_request(inner, &mut stream, "too many headers")?;
+                return Ok(());
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                bad_request(inner, &mut stream, "malformed header line")?;
+                return Ok(());
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    let Ok(n) = value.parse::<usize>() else {
+                        bad_request(inner, &mut stream, "bad Content-Length")?;
+                        return Ok(());
+                    };
+                    content_length = n;
+                }
+                "connection" => connection = value.to_ascii_lowercase(),
+                "transfer-encoding" => {
+                    // Chunked bodies are out of grammar; refuse rather
+                    // than desynchronise on framing we don't implement.
+                    bad_request(inner, &mut stream, "Transfer-Encoding is not supported")?;
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+
+        // ---- body ---------------------------------------------------------
+        if content_length > MAX_BODY {
+            inner
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            respond(
+                inner,
+                &mut stream,
+                413,
+                CT_JSON,
+                &json_err(&format!("body exceeds {MAX_BODY} bytes")),
+                true,
+            )?;
+            return Ok(());
+        }
+        let mut body_bytes = vec![0u8; content_length];
+        if content_length > 0 {
+            match reader.read_exact(&mut body_bytes)? {
+                Ok(()) => {}
+                Err(ReadStop::IdleTimeout) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "session idle timeout",
+                    ));
+                }
+                Err(_) => return Ok(()), // EOF/shutdown mid-body
+            }
+        }
+
+        let close_after = connection == "close" || (http10 && connection != "keep-alive");
+
+        // ---- rate limit ---------------------------------------------------
+        // Introspection endpoints are exempt: a throttled client must
+        // still be observable, and scrapers must never be starved by a
+        // noisy co-tenant behind the same IP.
+        let introspection = {
+            let path = target.split('?').next().unwrap_or("");
+            path == "/healthz" || path == "/metrics"
+        };
+        if !introspection {
+            if let Some(ip) = client_ip {
+                if !inner.within_rate(ip) {
+                    respond(
+                        inner,
+                        &mut stream,
+                        429,
+                        CT_JSON,
+                        &json_err("per-client rate limit exceeded"),
+                        close_after,
+                    )?;
+                    if close_after {
+                        return Ok(());
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // ---- route --------------------------------------------------------
+        let (code, content_type, response_body) = route(inner, &method, &target, &body_bytes);
+        let close = close_after || code == 400;
+        respond(
+            inner,
+            &mut stream,
+            code,
+            content_type,
+            &response_body,
+            close,
+        )?;
+        if close {
+            return Ok(());
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one parsed request to its handler. Returns
+/// `(status, content type, body)`.
+fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> (u16, &'static str, String) {
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if target.contains('%') {
+        inner
+            .metrics
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return (
+            400,
+            CT_JSON,
+            json_err("percent-encoding is not used by this API"),
+        );
+    }
+    match (method, path) {
+        ("GET", "/healthz") => {
+            inner.metrics.stats.fetch_add(1, Ordering::Relaxed);
+            let tree = inner.tree.load();
+            (
+                200,
+                CT_JSON,
+                format!(
+                    "{{\"status\":\"ok\",\"nodes\":{},\"materialized\":{},\"alpha_star\":{}}}\n",
+                    tree.num_nodes(),
+                    tree.materialized_nodes(),
+                    tree.alpha_upper_bound()
+                ),
+            )
+        }
+        ("GET", "/metrics") => {
+            let tree = inner.tree.load();
+            let text = inner.metrics.render_prometheus(
+                inner.inflight.load(Ordering::SeqCst) as u64,
+                tree.num_nodes() as u64,
+                tree.materialized_nodes() as u64,
+            );
+            (200, CT_METRICS, text)
+        }
+        ("GET", "/qba") => match require_param(query_string, "alpha").and_then(parse_alpha) {
+            Ok(alpha) => run_query(inner, QuerySpec::Qba(alpha)),
+            Err(msg) => param_error(inner, &msg),
+        },
+        ("GET", "/qbp") => match require_param(query_string, "items").and_then(parse_items_qs) {
+            Ok(items) => run_query(inner, QuerySpec::Qbp(items)),
+            Err(msg) => param_error(inner, &msg),
+        },
+        ("GET", "/query") => {
+            let parsed = require_param(query_string, "items")
+                .and_then(parse_items_qs)
+                .and_then(|items| {
+                    require_param(query_string, "alpha")
+                        .and_then(parse_alpha)
+                        .map(|alpha| (items, alpha))
+                });
+            match parsed {
+                Ok((items, alpha)) => run_query(inner, QuerySpec::Query(items, alpha)),
+                Err(msg) => param_error(inner, &msg),
+            }
+        }
+        ("POST", "/query") => handle_batch(inner, body),
+        (_, "/healthz" | "/metrics" | "/qba" | "/qbp" | "/query") => (
+            405,
+            CT_JSON,
+            json_err(&format!("{method} not allowed here")),
+        ),
+        _ => (404, CT_JSON, json_err(&format!("no such endpoint {path}"))),
+    }
+}
+
+fn param_error(inner: &Inner, msg: &str) -> (u16, &'static str, String) {
+    inner
+        .metrics
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
+    (400, CT_JSON, json_err(msg))
+}
+
+/// Finds `name` in a raw query string (`k=v&k=v`, no decoding).
+fn require_param<'a>(query_string: &'a str, name: &str) -> Result<&'a str, String> {
+    query_string
+        .split('&')
+        .find_map(|pair| match pair.split_once('=') {
+            Some((k, v)) if k == name => Some(v),
+            _ => None,
+        })
+        .ok_or_else(|| format!("missing query parameter '{name}'"))
+}
+
+/// `items=` accepts the same grammar as the line protocol, plus the bare
+/// empty value as a second spelling of the empty pattern.
+fn parse_items_qs(raw: &str) -> Result<Vec<u32>, String> {
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    parse_items(raw)
+}
+
+/// One query, after parameter validation.
+#[derive(Debug, Clone, PartialEq)]
+enum QuerySpec {
+    Qba(f64),
+    Qbp(Vec<u32>),
+    Query(Vec<u32>, f64),
+}
+
+/// Runs one query against the current snapshot, counting verb, latency,
+/// and failure exactly like the line protocol does.
+fn run_query(inner: &Inner, spec: QuerySpec) -> (u16, &'static str, String) {
+    let tree = inner.tree.load();
+    match execute(inner, &tree, &spec) {
+        Ok(obj) => (200, CT_JSON, obj + "\n"),
+        Err(msg) => (500, CT_JSON, json_err(&msg)),
+    }
+}
+
+/// Executes `spec` against `tree`; `Ok` is the response JSON object
+/// (no trailing newline), `Err` the server-side failure message.
+fn execute(inner: &Inner, tree: &SegmentTcTree, spec: &QuerySpec) -> Result<String, String> {
+    let m = &inner.metrics;
+    let (result, hist) = match spec {
+        QuerySpec::Qba(alpha) => {
+            m.qba.fetch_add(1, Ordering::Relaxed);
+            (tree.query_by_alpha(*alpha), &m.qba_latency)
+        }
+        QuerySpec::Qbp(items) => {
+            m.qbp.fetch_add(1, Ordering::Relaxed);
+            (tree.query_by_pattern(&pattern_of(items)), &m.qbp_latency)
+        }
+        QuerySpec::Query(items, alpha) => {
+            m.query.fetch_add(1, Ordering::Relaxed);
+            (tree.query(&pattern_of(items), *alpha), &m.query_latency)
+        }
+    };
+    match result {
+        Ok(r) => {
+            hist.observe(r.elapsed_secs);
+            Ok(QueryResponse::from_result(&r).json_object())
+        }
+        Err(e) => {
+            m.query_failures.fetch_add(1, Ordering::Relaxed);
+            Err(e.to_string())
+        }
+    }
+}
+
+/// `POST /query`: parse the whole batch up front (reject it atomically on
+/// any malformed entry), then execute in order against one snapshot.
+fn handle_batch(inner: &Inner, body: &[u8]) -> (u16, &'static str, String) {
+    let started = std::time::Instant::now();
+    let Ok(text) = std::str::from_utf8(body) else {
+        return param_error(inner, "body is not UTF-8");
+    };
+    let specs = match parse_batch_specs(text) {
+        Ok(specs) => specs,
+        Err(msg) => return param_error(inner, &msg),
+    };
+    inner.metrics.batch.fetch_add(1, Ordering::Relaxed);
+    // One snapshot for the whole batch: a hot reload landing mid-batch
+    // never mixes segments inside one response.
+    let tree = inner.tree.load();
+    let mut results = String::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        match execute(inner, &tree, spec) {
+            Ok(obj) => results.push_str(&obj),
+            Err(msg) => {
+                // Inline error object: one bad query must not void the
+                // rest of the batch the client pipelined with it.
+                let err = json_err(&msg);
+                results.push_str(err.trim_end());
+            }
+        }
+    }
+    inner
+        .metrics
+        .batch_latency
+        .observe(started.elapsed().as_secs_f64());
+    (
+        200,
+        CT_JSON,
+        format!(
+            "{{\"status\":\"ok\",\"count\":{},\"results\":[{results}]}}\n",
+            specs.len()
+        ),
+    )
+}
+
+/// Parses a batch body into query specs: a bare array or
+/// `{"queries":[…]}` of objects naming `items` and/or `alpha`.
+fn parse_batch_specs(text: &str) -> Result<Vec<QuerySpec>, String> {
+    let value = parse_json(text).map_err(|e| format!("bad JSON body: {e}"))?;
+    let entries = value
+        .as_arr()
+        .or_else(|| value.get("queries").and_then(JsonValue::as_arr))
+        .ok_or("body must be a JSON array or {\"queries\":[…]}")?;
+    if entries.len() > MAX_BATCH {
+        return Err(format!("batch of {} exceeds {MAX_BATCH}", entries.len()));
+    }
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let items = match entry.get("items") {
+                None => None,
+                Some(v) => Some(
+                    v.as_arr()
+                        .ok_or(format!("query {i}: items must be an array"))?
+                        .iter()
+                        .map(|x| {
+                            let n = x
+                                .as_num()
+                                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                                .ok_or(format!("query {i}: bad item id"))?;
+                            u32::try_from(n as u64)
+                                .map_err(|_| format!("query {i}: item id out of range"))
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?,
+                ),
+            };
+            let alpha = match entry.get("alpha") {
+                None => None,
+                Some(v) => Some(
+                    v.as_num()
+                        .filter(|a| a.is_finite() && *a >= 0.0)
+                        .ok_or(format!("query {i}: alpha must be finite and >= 0"))?,
+                ),
+            };
+            match (items, alpha) {
+                (Some(items), Some(alpha)) => Ok(QuerySpec::Query(items, alpha)),
+                (None, Some(alpha)) => Ok(QuerySpec::Qba(alpha)),
+                (Some(items), None) => Ok(QuerySpec::Qbp(items)),
+                (None, None) => Err(format!("query {i}: needs items and/or alpha")),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The response body, exactly `Content-Length` bytes.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether the status is 2xx.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A minimal blocking keep-alive HTTP/1.1 client — just enough for
+/// `tc-serve`'s own tests, `serve_bench`'s HTTP sweep, and embedders who
+/// already link this crate. Speaks only what the gateway serves:
+/// `Content-Length`-delimited bodies over one reused connection.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:8080`).
+    pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issues `GET <target>` on the kept-alive connection.
+    pub fn get(&mut self, target: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", target, None)
+    }
+
+    /// Issues `POST <target>` with a JSON `body`.
+    pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request("POST", target, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut req = format!("{method} {target} HTTP/1.1\r\nHost: tc-serve\r\n");
+        if let Some(body) = body {
+            req.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        self.reader.get_mut().write_all(req.as_bytes())?;
+
+        let bad = |msg: String| std::io::Error::new(ErrorKind::InvalidData, msg);
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad(format!("malformed status line '{}'", line.trim_end())))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers".to_string()));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad Content-Length '{}'", value.trim())))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body".to_string()))?;
+        Ok(HttpResponse { status, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_params_are_found_without_decoding() {
+        assert_eq!(require_param("alpha=0.5", "alpha").unwrap(), "0.5");
+        assert_eq!(require_param("items=1,2&alpha=0", "alpha").unwrap(), "0");
+        assert_eq!(require_param("items=&alpha=0", "items").unwrap(), "");
+        assert!(require_param("alpha=0.5", "items").is_err());
+        assert!(require_param("", "alpha").is_err());
+    }
+
+    #[test]
+    fn items_param_accepts_both_empty_spellings() {
+        assert_eq!(parse_items_qs("").unwrap(), Vec::<u32>::new());
+        assert_eq!(parse_items_qs("-").unwrap(), Vec::<u32>::new());
+        assert_eq!(parse_items_qs("3,1").unwrap(), vec![3, 1]);
+        assert!(parse_items_qs("3,x").is_err());
+    }
+
+    #[test]
+    fn batch_specs_parse_both_shapes_and_all_three_verbs() {
+        let bare = r#"[{"alpha":0.25},{"items":[3,7]},{"items":[1],"alpha":0.5}]"#;
+        let specs = parse_batch_specs(bare).unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                QuerySpec::Qba(0.25),
+                QuerySpec::Qbp(vec![3, 7]),
+                QuerySpec::Query(vec![1], 0.5),
+            ]
+        );
+        let wrapped = r#"{"queries":[{"items":[],"alpha":0}]}"#;
+        assert_eq!(
+            parse_batch_specs(wrapped).unwrap(),
+            vec![QuerySpec::Query(vec![], 0.0)]
+        );
+    }
+
+    #[test]
+    fn batch_specs_reject_malformed_entries() {
+        for body in [
+            "",
+            "not json",
+            "{}",
+            r#"{"queries":{}}"#,
+            r#"[{}]"#,
+            r#"[{"items":3}]"#,
+            r#"[{"items":[1.5]}]"#,
+            r#"[{"items":[-1]}]"#,
+            r#"[{"items":[1],"alpha":-0.5}]"#,
+            r#"[{"alpha":"high"}]"#,
+            r#"[{"items":[99999999999]}]"#,
+        ] {
+            assert!(parse_batch_specs(body).is_err(), "accepted: {body}");
+        }
+    }
+
+    #[test]
+    fn batch_cap_is_enforced() {
+        let mut body = String::from("[");
+        for i in 0..=MAX_BATCH {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("{\"alpha\":0}");
+        }
+        body.push(']');
+        let err = parse_batch_specs(&body).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_exposition_codes() {
+        for code in crate::metrics::HTTP_CODES {
+            assert!(!reason_phrase(code).is_empty());
+        }
+        assert_eq!(reason_phrase(418), "Internal Server Error");
+    }
+}

@@ -14,7 +14,17 @@
 //!   `BUSY` greeting, never unbounded queueing), per-verb counters, and
 //!   graceful shutdown on SIGTERM / the `SHUTDOWN` verb;
 //! * [`client`] — a blocking session client, reused by
-//!   `tc query --remote`, `tc-bench`'s `serve_bench` sweep, and CI.
+//!   `tc query --remote`, `tc-bench`'s `serve_bench` sweep, and CI;
+//! * [`http`] — the HTTP/1.1 + JSON gateway (`GET /qba`, `GET /qbp`,
+//!   `POST /query` batches, `GET /healthz`, `GET /metrics`), sharing the
+//!   same pool, admission bound, and counters;
+//! * [`metrics`] — the shared counters, per-verb latency histograms, and
+//!   the Prometheus text exposition behind `GET /metrics`;
+//! * [`limit`] — per-client token-bucket rate limiting layered on the
+//!   global inflight bound;
+//! * [`reload`] — `SIGHUP` / handle-driven segment hot-reload: open and
+//!   validate off-thread, then one atomic `Arc` swap; sessions are never
+//!   dropped and every request answers from a single snapshot.
 //!
 //! ## Quick taste
 //!
@@ -52,9 +62,17 @@
 //! ```
 
 pub mod client;
+pub mod http;
+pub mod limit;
+pub mod metrics;
 pub mod protocol;
+pub mod reload;
 pub mod server;
 
 pub use client::{ClientError, RemoteResult, RetryPolicy, ServeClient};
+pub use http::{HttpClient, HttpResponse};
+pub use limit::{RateLimit, RateLimiter};
+pub use metrics::{Histogram, Metrics};
 pub use protocol::{Greeting, QueryResponse, Request, TrussSummary, PROTOCOL_VERSION};
+pub use reload::TreeSlot;
 pub use server::{install_signal_handlers, ServeConfig, Server, ServerHandle, StatsSnapshot};

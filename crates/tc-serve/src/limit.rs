@@ -1,0 +1,185 @@
+//! Per-client token-bucket rate limiting, layered **on top of** the
+//! global `max_inflight` admission bound.
+//!
+//! The inflight bound protects the daemon from aggregate overload; this
+//! limiter protects it from a *single* hot client starving everyone else
+//! inside that bound. Each client (keyed by peer IP — ports churn per
+//! connection) owns a token bucket refilled continuously at
+//! [`RateLimit::per_sec`] up to [`RateLimit::burst`]; a request or
+//! connection costs one token, and an empty bucket means an explicit
+//! rejection the client can pace against: `429 Too Many Requests` on the
+//! HTTP front-end, a `BUSY` greeting on the TCP one. Nothing ever queues
+//! behind the limiter.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// When the bucket map outgrows this, full (i.e. long-idle) buckets are
+/// evicted — an idle client's bucket refills to `burst` and then carries
+/// no more state than a fresh one.
+const MAX_TRACKED_CLIENTS: usize = 4096;
+
+/// Token-bucket parameters: steady rate plus burst headroom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained requests per second per client.
+    pub per_sec: f64,
+    /// Bucket capacity — how many requests a client may burst after an
+    /// idle stretch before the steady rate applies.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `per_sec` with the conventional 2× burst headroom
+    /// (minimum 1 token, or no client could ever connect).
+    pub fn per_second(per_sec: f64) -> RateLimit {
+        RateLimit {
+            per_sec,
+            burst: (per_sec * 2.0).max(1.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The shared limiter: one bucket per client IP behind one mutex. The
+/// critical section is a handful of float ops — far cheaper than the
+/// query that follows an admitted request.
+#[derive(Debug)]
+pub struct RateLimiter {
+    cfg: RateLimit,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter enforcing `cfg` per client IP.
+    pub fn new(cfg: RateLimit) -> RateLimiter {
+        RateLimiter {
+            cfg,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> RateLimit {
+        self.cfg
+    }
+
+    /// Spends one token from `client`'s bucket; `false` means the client
+    /// is over its rate and the caller must reject the request.
+    pub fn allow(&self, client: IpAddr) -> bool {
+        self.allow_at(client, Instant::now())
+    }
+
+    /// [`RateLimiter::allow`] with an injected clock, so tests are
+    /// deterministic.
+    fn allow_at(&self, client: IpAddr, now: Instant) -> bool {
+        let mut buckets = self.buckets.lock().expect("rate-limit buckets poisoned");
+        if buckets.len() >= MAX_TRACKED_CLIENTS && !buckets.contains_key(&client) {
+            let (per_sec, burst) = (self.cfg.per_sec, self.cfg.burst);
+            buckets.retain(|_, b| {
+                b.tokens + now.saturating_duration_since(b.refilled).as_secs_f64() * per_sec < burst
+            });
+        }
+        let bucket = buckets.entry(client).or_insert(Bucket {
+            tokens: self.cfg.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.cfg.per_sec).min(self.cfg.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_is_allowed_then_rate_applies() {
+        let rl = RateLimiter::new(RateLimit {
+            per_sec: 2.0,
+            burst: 3.0,
+        });
+        let t0 = Instant::now();
+        assert!(rl.allow_at(ip(1), t0));
+        assert!(rl.allow_at(ip(1), t0));
+        assert!(rl.allow_at(ip(1), t0));
+        assert!(!rl.allow_at(ip(1), t0), "burst exhausted");
+        // Half a second refills one token at 2/s.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(rl.allow_at(ip(1), t1));
+        assert!(!rl.allow_at(ip(1), t1));
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let rl = RateLimiter::new(RateLimit {
+            per_sec: 1.0,
+            burst: 1.0,
+        });
+        let t0 = Instant::now();
+        assert!(rl.allow_at(ip(1), t0));
+        assert!(!rl.allow_at(ip(1), t0));
+        assert!(rl.allow_at(ip(2), t0), "a throttled peer must not leak");
+    }
+
+    #[test]
+    fn refill_is_capped_at_burst() {
+        let rl = RateLimiter::new(RateLimit {
+            per_sec: 10.0,
+            burst: 2.0,
+        });
+        let t0 = Instant::now();
+        assert!(rl.allow_at(ip(7), t0));
+        // A long sleep must not bank more than `burst` tokens.
+        let t1 = t0 + Duration::from_secs(60);
+        assert!(rl.allow_at(ip(7), t1));
+        assert!(rl.allow_at(ip(7), t1));
+        assert!(!rl.allow_at(ip(7), t1));
+    }
+
+    #[test]
+    fn per_second_constructor_keeps_a_connectable_floor() {
+        let rl = RateLimit::per_second(0.25);
+        assert_eq!(rl.burst, 1.0, "burst below one token would reject everyone");
+        assert_eq!(RateLimit::per_second(50.0).burst, 100.0);
+    }
+
+    #[test]
+    fn idle_buckets_are_evicted_under_pressure() {
+        let rl = RateLimiter::new(RateLimit {
+            per_sec: 100.0,
+            burst: 2.0,
+        });
+        let t0 = Instant::now();
+        for i in 0..MAX_TRACKED_CLIENTS {
+            let addr = IpAddr::V4(Ipv4Addr::from((i as u32 + 1).to_be_bytes()));
+            assert!(rl.allow_at(addr, t0));
+        }
+        assert_eq!(rl.buckets.lock().unwrap().len(), MAX_TRACKED_CLIENTS);
+        // Much later every tracked bucket is full again, so a new client
+        // triggers a sweep instead of unbounded growth.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(rl.allow_at(ip(9), t1));
+        assert!(rl.buckets.lock().unwrap().len() < MAX_TRACKED_CLIENTS);
+    }
+}

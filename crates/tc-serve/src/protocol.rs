@@ -179,7 +179,7 @@ impl Request {
     }
 }
 
-fn parse_alpha(token: &str) -> Result<f64, String> {
+pub(crate) fn parse_alpha(token: &str) -> Result<f64, String> {
     let alpha: f64 = token.parse().map_err(|_| format!("bad alpha '{token}'"))?;
     if !alpha.is_finite() || alpha < 0.0 {
         return Err(format!("alpha must be finite and >= 0, got '{token}'"));
@@ -187,7 +187,7 @@ fn parse_alpha(token: &str) -> Result<f64, String> {
     Ok(alpha)
 }
 
-fn parse_items(token: &str) -> Result<Vec<u32>, String> {
+pub(crate) fn parse_items(token: &str) -> Result<Vec<u32>, String> {
     if token == "-" {
         return Ok(Vec::new());
     }
@@ -283,6 +283,15 @@ impl QueryResponse {
 
     /// Renders the single-line JSON form (`\n`-terminated).
     pub fn encode_json(&self) -> String {
+        let mut out = self.json_object();
+        out.push('\n');
+        out
+    }
+
+    /// Renders the bare JSON object, no trailing newline — the building
+    /// block both the line protocol's `JSON` frames and the HTTP
+    /// gateway's bodies (single and batched) are assembled from.
+    pub fn json_object(&self) -> String {
         let mut out = format!(
             "{{\"status\":\"ok\",\"retrieved\":{},\"visited\":{},\"secs\":{},\"trusses\":[",
             self.retrieved, self.visited, self.elapsed_secs
@@ -302,7 +311,7 @@ impl QueryResponse {
                 t.edges
             ));
         }
-        out.push_str("]}\n");
+        out.push_str("]}");
         out
     }
 

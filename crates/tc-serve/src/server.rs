@@ -1,15 +1,24 @@
 //! The serving daemon: a bounded-admission worker pool answering the
-//! [`crate::protocol`] over TCP, straight off a lazily-materialised
-//! [`SegmentTcTree`].
+//! [`crate::protocol`] over TCP and the [`crate::http`] JSON gateway,
+//! straight off a hot-swappable [`SegmentTcTree`].
 //!
 //! ## Admission control
 //!
-//! The accept loop is the *only* place connections queue, and the queue
+//! The accept loops are the *only* place connections queue, and the queue
 //! is bounded by `max_inflight` — the number of sessions admitted but not
-//! yet finished (queued + being served). A connection arriving over the
-//! limit is answered with a one-line `BUSY` greeting and closed
-//! immediately: overload degrades into explicit, cheap rejections the
-//! client can retry, never into unbounded queueing or silent hangs.
+//! yet finished (queued + being served) across **both** front-ends. A
+//! connection arriving over the limit is answered with a one-line `BUSY`
+//! greeting (TCP) or a `503` (HTTP) and closed immediately: overload
+//! degrades into explicit, cheap rejections the client can retry, never
+//! into unbounded queueing or silent hangs. Layered on top, an optional
+//! per-client token bucket ([`crate::limit`]) rejects a single hot client
+//! before it can monopolise the shared inflight budget.
+//!
+//! ## Hot reload
+//!
+//! `SIGHUP` (or [`ServerHandle::reload`]) swaps in a freshly opened and
+//! validated segment without dropping a single session — see
+//! [`crate::reload`] for the consistency model.
 //!
 //! ## Shutdown
 //!
@@ -22,38 +31,56 @@
 //! returns once every worker has parked. No connection is ever answered
 //! partially: a response line is written whole or not at all.
 
+use crate::limit::{RateLimit, RateLimiter};
+use crate::metrics::Metrics;
 use crate::protocol::{
     encode_error, encode_greeting_busy, encode_greeting_ok, encode_stats, QueryResponse, Request,
 };
+use crate::reload::TreeSlot;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use tc_store::SegmentTcTree;
 use tc_txdb::{Item, Pattern};
+use tc_util::LoadError;
 
 /// How often blocked socket reads and queue waits wake to re-check the
 /// shutdown flag — the upper bound on shutdown latency per session.
 pub const READ_TICK: Duration = Duration::from_millis(200);
 
-/// Accept-loop poll interval while the listener is idle.
+/// Accept-loop poll interval while the listeners are idle.
 const ACCEPT_TICK: Duration = Duration::from_millis(20);
 
 /// Server configuration. `Default` matches the `tc serve` CLI defaults.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads serving admitted sessions.
+    /// Worker threads serving admitted sessions (both front-ends share
+    /// the pool).
     pub workers: usize,
     /// Maximum admitted-but-unfinished sessions (queued + in service);
-    /// connections beyond it are greeted `BUSY` and closed.
+    /// connections beyond it are greeted `BUSY` / `503` and closed.
     pub max_inflight: usize,
     /// How long a session may sit without completing a request line
     /// before it is closed and its admission slot freed. A hung or
     /// half-dead client would otherwise hold one of `max_inflight` slots
     /// forever. `None` disables the timeout.
     pub idle_timeout: Option<Duration>,
+    /// Also serve the HTTP/JSON gateway on this address (e.g.
+    /// `127.0.0.1:8080`; port `0` picks an ephemeral port — read it back
+    /// with [`Server::local_http_addr`]). `None` serves TCP only.
+    pub http_addr: Option<String>,
+    /// Per-client token-bucket rate limit, layered on the global
+    /// inflight bound: one token per TCP connection or HTTP request,
+    /// keyed by peer IP. `None` disables the limiter.
+    pub rate_limit: Option<RateLimit>,
+    /// Where `SIGHUP` / [`ServerHandle::reload`] re-open the segment
+    /// from. `None` disables path-based reloads (handle-driven
+    /// [`ServerHandle::swap_tree`] still works).
+    pub reload_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -62,48 +89,44 @@ impl Default for ServeConfig {
             workers: 4,
             max_inflight: 64,
             idle_timeout: Some(Duration::from_secs(300)),
+            http_addr: None,
+            rate_limit: None,
+            reload_path: None,
         }
     }
-}
-
-/// Monotonic per-verb and admission counters, surfaced by `STATS`.
-#[derive(Debug, Default)]
-struct Counters {
-    accepted: AtomicU64,
-    admitted: AtomicU64,
-    rejected_busy: AtomicU64,
-    qba: AtomicU64,
-    qbp: AtomicU64,
-    query: AtomicU64,
-    stats: AtomicU64,
-    protocol_errors: AtomicU64,
-    query_failures: AtomicU64,
-    timeouts: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Connections accepted (admitted + rejected).
+    /// Connections accepted (admitted + rejected), both front-ends.
     pub accepted: u64,
     /// Sessions admitted past admission control.
     pub admitted: u64,
-    /// Connections rejected with a `BUSY` greeting.
+    /// Connections rejected with a `BUSY` greeting or `503`.
     pub rejected_busy: u64,
+    /// Requests/connections rejected by per-client rate limiting.
+    pub rate_limited: u64,
     /// `QBA` requests served.
     pub qba: u64,
     /// `QBP` requests served.
     pub qbp: u64,
     /// `QUERY` requests served.
     pub query: u64,
-    /// `STATS` requests served.
+    /// `STATS` / `/healthz` requests served.
     pub stats: u64,
-    /// Requests rejected as malformed (`ERR` responses to parse errors).
+    /// `POST /query` batch requests served.
+    pub batch: u64,
+    /// Requests rejected as malformed (`ERR` / `400` responses).
     pub protocol_errors: u64,
     /// Queries that failed server-side (e.g. segment corruption).
     pub query_failures: u64,
     /// Sessions closed for sitting idle past the configured timeout.
     pub timeouts: u64,
+    /// Segment hot-reloads completed.
+    pub reloads: u64,
+    /// Hot-reload attempts that failed validation.
+    pub reload_failures: u64,
     /// Sessions admitted but not yet finished, at snapshot time.
     pub inflight: u64,
 }
@@ -115,21 +138,38 @@ impl StatsSnapshot {
     }
 }
 
-/// Shared server state: the tree, the bounded session queue, counters.
-struct Inner {
-    tree: SegmentTcTree,
-    cfg: ServeConfig,
-    counters: Counters,
+/// Shared server state: the swappable tree, the bounded session queue,
+/// telemetry, and the optional rate limiter.
+pub(crate) struct Inner {
+    pub(crate) tree: TreeSlot,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) metrics: Metrics,
     /// Admitted-but-unfinished session count — the admission gauge.
-    inflight: AtomicUsize,
-    shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) limiter: Option<RateLimiter>,
+    reload_in_progress: AtomicBool,
+    queue: Mutex<VecDeque<Session>>,
     queue_cv: Condvar,
 }
 
+/// Which front-end a queued session arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrontEnd {
+    /// The line-oriented TCP protocol.
+    Line,
+    /// The HTTP/JSON gateway.
+    Http,
+}
+
+struct Session {
+    stream: TcpStream,
+    front: FrontEnd,
+}
+
 /// A clonable remote control for a running [`Server`] — lets tests and
-/// embedding binaries request shutdown and read counters from outside
-/// the accept loop.
+/// embedding binaries request shutdown, trigger hot reloads, and read
+/// telemetry from outside the accept loop.
 #[derive(Clone)]
 pub struct ServerHandle {
     inner: Arc<Inner>,
@@ -152,37 +192,135 @@ impl ServerHandle {
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.snapshot()
     }
+
+    /// The Prometheus text exposition, exactly as `GET /metrics` serves
+    /// it.
+    pub fn prometheus(&self) -> String {
+        let tree = self.inner.tree.load();
+        self.inner.metrics.render_prometheus(
+            self.inner.inflight.load(Ordering::SeqCst) as u64,
+            tree.num_nodes() as u64,
+            tree.materialized_nodes() as u64,
+        )
+    }
+
+    /// Atomically swaps `tree` in as the served segment and counts a
+    /// completed reload. In-flight requests keep their snapshot; no
+    /// session is dropped.
+    pub fn swap_tree(&self, tree: SegmentTcTree) {
+        self.inner.tree.store(Arc::new(tree));
+        self.inner.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-opens the configured `reload_path` and swaps the fresh segment
+    /// in (the `SIGHUP` path, callable directly by embedders). Returns
+    /// the new segment's node count; on failure the old segment keeps
+    /// serving and only `reload_failures` moves.
+    pub fn reload(&self) -> Result<usize, LoadError> {
+        let inner = &self.inner;
+        let Some(path) = inner.cfg.reload_path.clone() else {
+            inner
+                .metrics
+                .reload_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(LoadError::corrupt("no reload path configured"));
+        };
+        match crate::reload::reload_from_path(&inner.tree, &path) {
+            Ok(nodes) => {
+                inner.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+                Ok(nodes)
+            }
+            Err(e) => {
+                inner
+                    .metrics
+                    .reload_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs [`ServerHandle::reload`] on a detached thread, coalescing
+    /// concurrent requests — the accept loop calls this on `SIGHUP` so a
+    /// slow segment open never stalls admission.
+    fn spawn_reload(&self) {
+        let inner = &self.inner;
+        if inner
+            .reload_in_progress
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return; // a reload is already running; SIGHUP storms coalesce
+        }
+        let handle = self.clone();
+        std::thread::Builder::new()
+            .name("tc-serve-reload".to_string())
+            .spawn(move || {
+                match handle.reload() {
+                    Ok(nodes) => eprintln!("tc-serve: segment reloaded ({nodes} nodes)"),
+                    Err(e) => eprintln!("tc-serve: reload failed, old segment kept: {e}"),
+                }
+                handle
+                    .inner
+                    .reload_in_progress
+                    .store(false, Ordering::SeqCst);
+            })
+            .expect("spawn reload thread");
+    }
 }
 
 impl Inner {
-    fn snapshot(&self) -> StatsSnapshot {
-        let c = &self.counters;
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let m = &self.metrics;
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
         StatsSnapshot {
-            accepted: c.accepted.load(Ordering::Relaxed),
-            admitted: c.admitted.load(Ordering::Relaxed),
-            rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
-            qba: c.qba.load(Ordering::Relaxed),
-            qbp: c.qbp.load(Ordering::Relaxed),
-            query: c.query.load(Ordering::Relaxed),
-            stats: c.stats.load(Ordering::Relaxed),
-            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
-            query_failures: c.query_failures.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
+            accepted: load(&m.accepted),
+            admitted: load(&m.admitted),
+            rejected_busy: load(&m.rejected_busy),
+            rate_limited: load(&m.rate_limited),
+            qba: load(&m.qba),
+            qbp: load(&m.qbp),
+            query: load(&m.query),
+            stats: load(&m.stats),
+            batch: load(&m.batch),
+            protocol_errors: load(&m.protocol_errors),
+            query_failures: load(&m.query_failures),
+            timeouts: load(&m.timeouts),
+            reloads: load(&m.reloads),
+            reload_failures: load(&m.reload_failures),
             inflight: self.inflight.load(Ordering::SeqCst) as u64,
+        }
+    }
+
+    /// Whether `client` is within its per-client rate budget (always
+    /// true when no limiter is configured).
+    pub(crate) fn within_rate(&self, client: std::net::IpAddr) -> bool {
+        match &self.limiter {
+            Some(l) => {
+                let ok = l.allow(client);
+                if !ok {
+                    self.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            None => true,
         }
     }
 }
 
-/// The TCP query-serving daemon over one [`SegmentTcTree`].
+/// The query-serving daemon over one hot-swappable [`SegmentTcTree`]:
+/// the TCP line protocol, plus the HTTP/JSON gateway when configured.
 pub struct Server {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     inner: Arc<Inner>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7641`; port `0` picks an ephemeral
-    /// port — read it back with [`Server::local_addr`]) and prepares the
-    /// daemon. Serving starts when [`Server::run`] is called.
+    /// port — read it back with [`Server::local_addr`]) and, when
+    /// `cfg.http_addr` is set, the HTTP gateway address too. Serving
+    /// starts when [`Server::run`] is called.
     pub fn bind(tree: SegmentTcTree, addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
         if cfg.workers == 0 || cfg.max_inflight == 0 {
             return Err(std::io::Error::new(
@@ -190,25 +328,51 @@ impl Server {
                 "workers and max-inflight must be at least 1",
             ));
         }
+        if let Some(rl) = &cfg.rate_limit {
+            if !(rl.per_sec > 0.0 && rl.burst >= 1.0) {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    "rate limit needs per_sec > 0 and burst >= 1",
+                ));
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let http_listener = match &cfg.http_addr {
+            Some(http_addr) => {
+                let l = TcpListener::bind(http_addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let limiter = cfg.rate_limit.map(RateLimiter::new);
         Ok(Server {
             listener,
+            http_listener,
             inner: Arc::new(Inner {
-                tree,
+                tree: TreeSlot::new(tree),
                 cfg,
-                counters: Counters::default(),
+                metrics: Metrics::default(),
                 inflight: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
+                limiter,
+                reload_in_progress: AtomicBool::new(false),
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
             }),
         })
     }
 
-    /// The bound socket address (resolves port `0` bindings).
+    /// The bound TCP-protocol socket address (resolves port `0`
+    /// bindings).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound HTTP gateway address, when one was configured.
+    pub fn local_http_addr(&self) -> Option<std::io::Result<std::net::SocketAddr>> {
+        self.http_listener.as_ref().map(TcpListener::local_addr)
     }
 
     /// A remote control valid for the lifetime of the daemon.
@@ -232,36 +396,76 @@ impl Server {
             })
             .collect();
 
+        let teardown = |inner: &Arc<Inner>, workers: Vec<std::thread::JoinHandle<()>>| {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.queue_cv.notify_all();
+            for w in workers {
+                let _ = w.join();
+            }
+        };
+
         while !self.inner.shutdown.load(Ordering::SeqCst) && !signal_received() {
+            if take_reload_signal() {
+                self.handle().spawn_reload();
+            }
+            let mut idle = true;
             match self.listener.accept() {
-                Ok((stream, _)) => self.admit(stream),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Ok((stream, _)) => {
+                    self.admit(stream, FrontEnd::Line);
+                    idle = false;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => idle = false,
                 Err(e) => {
                     // Tear the pool down before surfacing the error.
-                    self.inner.shutdown.store(true, Ordering::SeqCst);
-                    self.inner.queue_cv.notify_all();
-                    for w in workers {
-                        let _ = w.join();
-                    }
+                    teardown(&self.inner, workers);
                     return Err(e);
                 }
             }
+            if let Some(http) = &self.http_listener {
+                match http.accept() {
+                    Ok((stream, _)) => {
+                        self.admit(stream, FrontEnd::Http);
+                        idle = false;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(e) if e.kind() == ErrorKind::Interrupted => idle = false,
+                    Err(e) => {
+                        teardown(&self.inner, workers);
+                        return Err(e);
+                    }
+                }
+            }
+            if idle {
+                std::thread::sleep(ACCEPT_TICK);
+            }
         }
 
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.queue_cv.notify_all();
-        for w in workers {
-            let _ = w.join();
-        }
+        teardown(&self.inner, workers);
         Ok(self.inner.snapshot())
     }
 
-    /// Admission control: enqueue within the inflight budget, reject with
-    /// a `BUSY` greeting beyond it.
-    fn admit(&self, mut stream: TcpStream) {
+    /// Admission control: enqueue within the rate and inflight budgets,
+    /// reject with a `BUSY` greeting / `503` beyond them.
+    fn admit(&self, mut stream: TcpStream, front: FrontEnd) {
         let inner = &self.inner;
-        inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        // Per-client rate limiting applies to TCP at connection grain
+        // (one token per session); the HTTP front-end charges per
+        // request instead, inside the session loop, so a keep-alive
+        // connection cannot amortise the limit away.
+        if front == FrontEnd::Line {
+            let client_ip = stream.peer_addr().map(|a| a.ip());
+            if let Ok(ip) = client_ip {
+                if !inner.within_rate(ip) {
+                    let _ = stream.write_all(
+                        encode_greeting_busy("per-client rate limit exceeded, retry later")
+                            .as_bytes(),
+                    );
+                    return;
+                }
+            }
+        }
         let admitted = inner
             .inflight
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
@@ -269,15 +473,16 @@ impl Server {
             })
             .is_ok();
         if !admitted {
-            inner.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            // Best effort: the client may already be gone.
-            let _ = stream.write_all(
-                encode_greeting_busy(&format!(
-                    "inflight limit ({}) reached, retry later",
-                    inner.cfg.max_inflight
-                ))
-                .as_bytes(),
+            inner.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let reason = format!(
+                "inflight limit ({}) reached, retry later",
+                inner.cfg.max_inflight
             );
+            // Best effort: the client may already be gone.
+            let _ = match front {
+                FrontEnd::Line => stream.write_all(encode_greeting_busy(&reason).as_bytes()),
+                FrontEnd::Http => crate::http::write_busy_503(inner, &mut stream, &reason),
+            };
             return; // dropping the stream closes it
         }
         // Re-check the shutdown flag *under the queue lock*: workers decide
@@ -290,12 +495,19 @@ impl Server {
         if inner.shutdown.load(Ordering::SeqCst) {
             drop(queue);
             inner.inflight.fetch_sub(1, Ordering::SeqCst);
-            inner.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.write_all(encode_greeting_busy("server shutting down").as_bytes());
+            inner.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let _ = match front {
+                FrontEnd::Line => {
+                    stream.write_all(encode_greeting_busy("server shutting down").as_bytes())
+                }
+                FrontEnd::Http => {
+                    crate::http::write_busy_503(inner, &mut stream, "server shutting down")
+                }
+            };
             return;
         }
-        inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
-        queue.push_back(stream);
+        inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(Session { stream, front });
         drop(queue);
         inner.queue_cv.notify_one();
     }
@@ -312,7 +524,7 @@ impl Drop for InflightGuard<'_> {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let stream = {
+        let session = {
             let mut queue = inner.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(s) = queue.pop_front() {
@@ -328,7 +540,7 @@ fn worker_loop(inner: &Inner) {
                 queue = q;
             }
         };
-        let Some(stream) = stream else {
+        let Some(session) = session else {
             // Shutdown with an empty queue: even sessions admitted after
             // the flag flipped have been drained (flag is checked only
             // under the same lock the acceptor pushes under).
@@ -336,9 +548,13 @@ fn worker_loop(inner: &Inner) {
         };
         let _guard = InflightGuard(inner);
         // Socket errors end the session; the next connection is unaffected.
-        if let Err(e) = serve_session(inner, stream) {
+        let result = match session.front {
+            FrontEnd::Line => serve_session(inner, session.stream),
+            FrontEnd::Http => crate::http::serve_http_session(inner, session.stream),
+        };
+        if let Err(e) = result {
             if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
-                inner.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -356,9 +572,14 @@ fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
-    stream.write_all(
-        encode_greeting_ok(inner.tree.num_nodes(), inner.tree.alpha_upper_bound()).as_bytes(),
-    )?;
+    {
+        // The greeting advertises the directory facts of the segment
+        // serving *right now*; a session outliving a hot reload keeps its
+        // connection and simply sees post-swap answers on later requests.
+        let tree = inner.tree.load();
+        stream
+            .write_all(encode_greeting_ok(tree.num_nodes(), tree.alpha_upper_bound()).as_bytes())?;
+    }
 
     let mut line = String::new();
     let mut idle = Duration::ZERO;
@@ -396,10 +617,15 @@ fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
             continue; // blank keep-alive lines are not a protocol error
         }
         let flow = match Request::parse(&line) {
-            Ok(req) => handle_request(inner, &req, &mut stream)?,
+            Ok(req) => {
+                // One snapshot per request: a hot reload landing mid-
+                // request never mixes old and new segments in one answer.
+                let tree = inner.tree.load();
+                handle_request(inner, &tree, &req, &mut stream)?
+            }
             Err(msg) => {
                 inner
-                    .counters
+                    .metrics
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
                 stream.write_all(encode_error(&msg, false).as_bytes())?;
@@ -418,43 +644,56 @@ fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
 
 fn handle_request(
     inner: &Inner,
+    tree: &SegmentTcTree,
     req: &Request,
     stream: &mut TcpStream,
 ) -> std::io::Result<SessionFlow> {
-    let c = &inner.counters;
-    let (result, json) = match req {
+    let m = &inner.metrics;
+    let (result, hist, json) = match req {
         Request::Qba { alpha, json } => {
-            c.qba.fetch_add(1, Ordering::Relaxed);
-            (inner.tree.query_by_alpha(*alpha), *json)
+            m.qba.fetch_add(1, Ordering::Relaxed);
+            (tree.query_by_alpha(*alpha), &m.qba_latency, *json)
         }
         Request::Qbp { items, json } => {
-            c.qbp.fetch_add(1, Ordering::Relaxed);
-            (inner.tree.query_by_pattern(&pattern_of(items)), *json)
+            m.qbp.fetch_add(1, Ordering::Relaxed);
+            (
+                tree.query_by_pattern(&pattern_of(items)),
+                &m.qbp_latency,
+                *json,
+            )
         }
         Request::Query { items, alpha, json } => {
-            c.query.fetch_add(1, Ordering::Relaxed);
-            (inner.tree.query(&pattern_of(items), *alpha), *json)
+            m.query.fetch_add(1, Ordering::Relaxed);
+            (
+                tree.query(&pattern_of(items), *alpha),
+                &m.query_latency,
+                *json,
+            )
         }
         Request::Stats { json } => {
-            c.stats.fetch_add(1, Ordering::Relaxed);
+            m.stats.fetch_add(1, Ordering::Relaxed);
             let s = inner.snapshot();
             let rows = [
                 ("protocol_version", u64::from(crate::PROTOCOL_VERSION)),
-                ("nodes", inner.tree.num_nodes() as u64),
-                ("materialized_nodes", inner.tree.materialized_nodes() as u64),
+                ("nodes", tree.num_nodes() as u64),
+                ("materialized_nodes", tree.materialized_nodes() as u64),
                 ("workers", inner.cfg.workers as u64),
                 ("max_inflight", inner.cfg.max_inflight as u64),
                 ("inflight", s.inflight),
                 ("accepted", s.accepted),
                 ("admitted", s.admitted),
                 ("rejected_busy", s.rejected_busy),
+                ("rate_limited", s.rate_limited),
                 ("qba", s.qba),
                 ("qbp", s.qbp),
                 ("query", s.query),
                 ("stats", s.stats),
+                ("batch", s.batch),
                 ("protocol_errors", s.protocol_errors),
                 ("query_failures", s.query_failures),
                 ("timeouts", s.timeouts),
+                ("reloads", s.reloads),
+                ("reload_failures", s.reload_failures),
             ];
             stream.write_all(encode_stats(&rows, *json).as_bytes())?;
             return Ok(SessionFlow::Continue);
@@ -472,6 +711,7 @@ fn handle_request(
     };
     match result {
         Ok(r) => {
+            hist.observe(r.elapsed_secs);
             let resp = QueryResponse::from_result(&r);
             let frame = if json {
                 resp.encode_json()
@@ -483,49 +723,62 @@ fn handle_request(
         Err(e) => {
             // A failed query (segment corruption discovered lazily) is an
             // ERR to this client, not a daemon crash.
-            c.query_failures.fetch_add(1, Ordering::Relaxed);
+            m.query_failures.fetch_add(1, Ordering::Relaxed);
             stream.write_all(encode_error(&e.to_string(), json).as_bytes())?;
         }
     }
     Ok(SessionFlow::Continue)
 }
 
-fn pattern_of(items: &[u32]) -> Pattern {
+pub(crate) fn pattern_of(items: &[u32]) -> Pattern {
     Pattern::new(items.iter().map(|&i| Item(i)).collect())
 }
 
 // ---------------------------------------------------------------------------
-// Signal plumbing: SIGTERM/SIGINT flip a global flag the accept loop
-// polls. Only the `tc serve` binary installs the handlers; library users
-// and tests drive shutdown via ServerHandle / the SHUTDOWN verb.
+// Signal plumbing: SIGTERM/SIGINT flip a shutdown flag, SIGHUP a reload
+// flag; the accept loop polls both. Only the `tc serve` binary installs
+// the handlers; library users and tests drive shutdown and reload via
+// ServerHandle / the SHUTDOWN verb.
 // ---------------------------------------------------------------------------
 
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SIGNAL_RELOAD: AtomicBool = AtomicBool::new(false);
 
 fn signal_received() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
-/// Routes SIGTERM and SIGINT into a graceful shutdown of every
-/// [`Server::run`] loop in the process. Call once, before `run`.
+/// Consumes a pending SIGHUP, if one arrived since the last check.
+fn take_reload_signal() -> bool {
+    SIGNAL_RELOAD.swap(false, Ordering::SeqCst)
+}
+
+/// Routes SIGTERM and SIGINT into a graceful shutdown — and SIGHUP into
+/// a segment hot-reload — of every [`Server::run`] loop in the process.
+/// Call once, before `run`.
 ///
 /// Uses the C `signal(2)` entry point directly — the workspace vendors
 /// its dependencies and has no `libc` crate, but every supported target
 /// already links the C runtime through `std`.
 #[cfg(unix)]
 pub fn install_signal_handlers() {
-    extern "C" fn on_signal(_signum: i32) {
+    extern "C" fn on_shutdown(_signum: i32) {
         // Only async-signal-safe work here: one atomic store.
         SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
     }
+    extern "C" fn on_reload(_signum: i32) {
+        SIGNAL_RELOAD.store(true, Ordering::SeqCst);
+    }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
     }
     unsafe {
-        signal(SIGTERM, on_signal);
-        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_shutdown);
+        signal(SIGINT, on_shutdown);
+        signal(SIGHUP, on_reload);
     }
 }
 

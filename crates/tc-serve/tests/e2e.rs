@@ -292,6 +292,7 @@ fn stalled_sessions_time_out_and_free_their_slot() {
             workers: 1,
             max_inflight: 1,
             idle_timeout: Some(std::time::Duration::from_millis(400)),
+            ..ServeConfig::default()
         },
     );
 

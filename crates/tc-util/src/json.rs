@@ -1,10 +1,12 @@
-//! A minimal JSON reader for the telemetry reports (`tc-bench/v1`).
+//! A minimal JSON reader shared by the workspace's JSON consumers.
 //!
-//! The workspace carries no serde; the only JSON this crate ever reads is
-//! the JSON it writes itself ([`crate::report::JsonReport`]), so a small
-//! recursive-descent parser over the full JSON grammar is plenty — and
-//! keeping it total (no panics on malformed input) lets `bench_compare`
-//! give a real diagnostic when a baseline file is damaged.
+//! The workspace carries no serde; the only JSON it ever reads is JSON it
+//! (or a well-behaved HTTP client) writes itself — `tc-bench`'s telemetry
+//! reports and `tc-serve`'s `POST /query` batch bodies — so a small
+//! recursive-descent parser over the full JSON grammar is plenty.
+//! Keeping it total (no panics on malformed input) lets `bench_compare`
+//! give a real diagnostic on a damaged baseline file and lets the HTTP
+//! front-end answer a malformed body with a `400` instead of a crash.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -270,33 +272,5 @@ mod tests {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "1 2", "nul"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
-    }
-
-    #[test]
-    fn round_trips_own_report_format() {
-        let mut r = crate::report::JsonReport::new("storage");
-        r.push("BK", "tree_seg_bytes", 4096.0);
-        r.push("BK", "warm_qba_secs", 1.5e-5);
-        r.push("BK", "nan_metric", f64::NAN);
-        let v = parse(&r.render()).unwrap();
-        assert_eq!(
-            v.get("schema").and_then(JsonValue::as_str),
-            Some("tc-bench/v1")
-        );
-        let metrics = v.get("metrics").and_then(JsonValue::as_arr).unwrap();
-        assert_eq!(metrics.len(), 3);
-        assert_eq!(
-            metrics[0].get("metric").and_then(JsonValue::as_str),
-            Some("tree_seg_bytes")
-        );
-        assert_eq!(
-            metrics[0].get("value").and_then(JsonValue::as_num),
-            Some(4096.0)
-        );
-        assert!(metrics[2]
-            .get("value")
-            .and_then(JsonValue::as_num)
-            .unwrap()
-            .is_nan());
     }
 }

@@ -20,6 +20,8 @@
 //!   floating-point noise.
 //! * [`heapsize`] — a trait reporting the heap footprint of a value, used to
 //!   reproduce the "Memory" column of Table 3.
+//! * [`json`] — a total (never-panicking) recursive-descent JSON reader,
+//!   shared by the bench-telemetry gate and the `tc-serve` HTTP front-end.
 //! * [`steal`] — the work-stealing task executor behind the parallel
 //!   miners and the parallel TC-Tree builders: per-worker deques,
 //!   steal-half balancing, dynamic task spawning, deterministic
@@ -34,6 +36,7 @@ pub mod error;
 pub mod float;
 pub mod hash;
 pub mod heapsize;
+pub mod json;
 pub mod steal;
 pub mod timer;
 
