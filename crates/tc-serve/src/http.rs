@@ -146,37 +146,51 @@ enum ReadStop {
 }
 
 impl TickReader<'_> {
-    /// Reads one `\n`-terminated line (CRLF tolerated), stripped.
+    /// Reads one `\n`-terminated line (CRLF tolerated), stripped. Every
+    /// read goes through a `take` bounded by the remaining line budget,
+    /// so a client streaming bytes with no newline can never buffer more
+    /// than `MAX_LINE + 2` bytes before the line is cut off as
+    /// [`ReadStop::TooLong`].
     fn read_line(&mut self, line: &mut String) -> std::io::Result<Result<(), ReadStop>> {
         line.clear();
+        let mut buf = Vec::new();
         loop {
-            match self.reader.read_line(line) {
+            // Budget for the raw line including its CRLF terminator; the
+            // stripped line may be at most MAX_LINE bytes.
+            let budget = (MAX_LINE + 2).saturating_sub(buf.len()) as u64;
+            if budget == 0 {
+                return Ok(Err(ReadStop::TooLong));
+            }
+            match (&mut self.reader).take(budget).read_until(b'\n', &mut buf) {
                 Ok(0) => {
-                    return Ok(Err(if line.is_empty() {
+                    return Ok(Err(if buf.is_empty() {
                         ReadStop::Eof
                     } else {
                         ReadStop::Shutdown // mid-line EOF: nothing to answer
                     }));
                 }
                 Ok(_) => {
-                    self.idle = Duration::ZERO;
-                    while line.ends_with('\n') || line.ends_with('\r') {
-                        line.pop();
+                    if buf.last() != Some(&b'\n') {
+                        continue; // budget spent mid-line → TooLong above
                     }
-                    if line.len() > MAX_LINE {
+                    self.idle = Duration::ZERO;
+                    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+                        buf.pop();
+                    }
+                    if buf.len() > MAX_LINE {
                         return Ok(Err(ReadStop::TooLong));
                     }
+                    let text = std::str::from_utf8(&buf)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+                    line.push_str(text);
                     return Ok(Ok(()));
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     if let Some(stop) = self.tick()? {
                         return Ok(Err(stop));
                     }
-                    // Partial bytes already in `line` survive the retry,
+                    // Partial bytes already in `buf` survive the retry,
                     // but only a complete line resets the idle clock.
-                    if line.len() > MAX_LINE {
-                        return Ok(Err(ReadStop::TooLong));
-                    }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),

@@ -16,9 +16,11 @@ use std::net::IpAddr;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// When the bucket map outgrows this, full (i.e. long-idle) buckets are
-/// evicted — an idle client's bucket refills to `burst` and then carries
-/// no more state than a fresh one.
+/// Hard cap on tracked buckets. At the cap, full (i.e. long-idle)
+/// buckets are swept first — an idle client's bucket refills to `burst`
+/// and then carries no more state than a fresh one — and if every bucket
+/// is still active, the fullest is force-evicted so the map can never
+/// outgrow the cap.
 const MAX_TRACKED_CLIENTS: usize = 4096;
 
 /// Token-bucket parameters: steady rate plus burst headroom.
@@ -83,9 +85,27 @@ impl RateLimiter {
         let mut buckets = self.buckets.lock().expect("rate-limit buckets poisoned");
         if buckets.len() >= MAX_TRACKED_CLIENTS && !buckets.contains_key(&client) {
             let (per_sec, burst) = (self.cfg.per_sec, self.cfg.burst);
-            buckets.retain(|_, b| {
-                b.tokens + now.saturating_duration_since(b.refilled).as_secs_f64() * per_sec < burst
-            });
+            let effective = move |b: &Bucket, now: Instant| {
+                b.tokens + now.saturating_duration_since(b.refilled).as_secs_f64() * per_sec
+            };
+            buckets.retain(|_, b| effective(b, now) < burst);
+            // The cap is a hard bound, not a hint: if every tracked
+            // client is still active (e.g. an attacker cycling through an
+            // IPv6 /64), the sweep frees nothing, so evict the fullest —
+            // i.e. most idle — buckets to make room. Evicting a *drained*
+            // bucket would hand a throttled client a fresh burst, so the
+            // fullest goes first; for it, eviction is a no-op (a fresh
+            // bucket starts with `burst` tokens anyway).
+            while buckets.len() >= MAX_TRACKED_CLIENTS {
+                let victim = buckets
+                    .iter()
+                    .max_by(|(_, a), (_, b)| effective(a, now).total_cmp(&effective(b, now)))
+                    .map(|(ip, _)| *ip);
+                match victim {
+                    Some(ip) => buckets.remove(&ip),
+                    None => break,
+                };
+            }
         }
         let bucket = buckets.entry(client).or_insert(Bucket {
             tokens: self.cfg.burst,
@@ -181,5 +201,48 @@ mod tests {
         let t1 = t0 + Duration::from_secs(3600);
         assert!(rl.allow_at(ip(9), t1));
         assert!(rl.buckets.lock().unwrap().len() < MAX_TRACKED_CLIENTS);
+    }
+
+    #[test]
+    fn cap_is_a_hard_bound_even_with_every_client_active() {
+        let rl = RateLimiter::new(RateLimit {
+            per_sec: 1.0,
+            burst: 2.0,
+        });
+        // Same instant throughout: no bucket ever refills, so the idle
+        // sweep frees nothing and only stalest-eviction can make room.
+        let t0 = Instant::now();
+        for i in 0..MAX_TRACKED_CLIENTS + 64 {
+            let addr = IpAddr::V4(Ipv4Addr::from((i as u32 + 1).to_be_bytes()));
+            assert!(rl.allow_at(addr, t0), "client {i} must still be admitted");
+        }
+        assert!(
+            rl.buckets.lock().unwrap().len() <= MAX_TRACKED_CLIENTS,
+            "bucket map must never exceed MAX_TRACKED_CLIENTS"
+        );
+    }
+
+    #[test]
+    fn forced_eviction_prefers_idle_over_throttled_clients() {
+        let rl = RateLimiter::new(RateLimit {
+            per_sec: 100.0,
+            burst: 2.0,
+        });
+        let t0 = Instant::now();
+        // A throttled (fully drained, 0 tokens) client…
+        assert!(rl.allow_at(ip(1), t0));
+        assert!(rl.allow_at(ip(1), t0));
+        assert!(!rl.allow_at(ip(1), t0));
+        // …then fill the map with fresh clients until evictions start.
+        for i in 0..MAX_TRACKED_CLIENTS {
+            let addr = IpAddr::V4(Ipv4Addr::from((0x0a00_0000 + i as u32).to_be_bytes()));
+            rl.allow_at(addr, t0);
+        }
+        // The drained bucket survives the evictions, so the throttled
+        // client did not get a fresh burst out of the churn.
+        assert!(
+            !rl.allow_at(ip(1), t0),
+            "eviction churn must not reset a throttled client"
+        );
     }
 }

@@ -420,14 +420,22 @@ pub fn parse_greeting(line: &str) -> Result<Greeting, String> {
 
 /// Renders an in-session error line in the requested encoding
 /// (`\n`-terminated). Newlines in `msg` are flattened so the frame stays
-/// line-oriented.
+/// line-oriented; in the JSON encoding every remaining control character
+/// (messages echo client input, which may carry a tab or worse) is
+/// `\u00XX`-escaped so the body is always valid JSON.
 pub fn encode_error(msg: &str, json: bool) -> String {
     let flat = msg.replace(['\n', '\r'], " ");
     if json {
-        format!(
-            "{{\"status\":\"err\",\"message\":\"{}\"}}\n",
-            flat.replace('\\', "\\\\").replace('"', "\\\"")
-        )
+        let mut escaped = String::with_capacity(flat.len());
+        for c in flat.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '"' => escaped.push_str("\\\""),
+                c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+                c => escaped.push(c),
+            }
+        }
+        format!("{{\"status\":\"err\",\"message\":\"{escaped}\"}}\n")
     } else {
         format!("ERR\t{flat}\n")
     }
@@ -630,6 +638,18 @@ mod tests {
         let err = encode_error("quote \" back \\ newline\nend", true);
         assert_eq!(err.matches('\n').count(), 1);
         assert!(err.contains("\\\""), "{err}");
+        // Client-echoed control characters (a tab smuggled through a
+        // query string, say) must still yield valid JSON: parse the body
+        // back and recover the exact message.
+        let msg = "bad alpha '0.\t5' \u{1} end";
+        let err = encode_error(msg, true);
+        let parsed = tc_util::json::parse(err.trim_end()).expect("error body must be valid JSON");
+        assert_eq!(
+            parsed
+                .get("message")
+                .and_then(tc_util::json::JsonValue::as_str),
+            Some(msg)
+        );
         let stats = encode_stats(&[("accepted", 3), ("qba", 1)], true);
         assert!(stats.contains("\"accepted\":3"), "{stats}");
         let stats_tab = encode_stats(&[("accepted", 3), ("qba", 1)], false);

@@ -38,7 +38,7 @@ use crate::protocol::{
 };
 use crate::reload::TreeSlot;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -566,6 +566,73 @@ enum SessionFlow {
     Close,
 }
 
+/// Longest accepted request line on the TCP protocol, in bytes. Generous
+/// (a pattern of tens of thousands of items fits) but it bounds what a
+/// client streaming bytes with no newline can make a session buffer.
+const MAX_TCP_LINE: usize = 1024 * 1024;
+
+/// Why [`read_request_line`] returned without a line.
+enum LineStop {
+    /// Client closed the connection.
+    Eof,
+    /// The daemon is shutting down.
+    Shutdown,
+    /// The session idled past the configured timeout.
+    IdleTimeout,
+    /// The line outgrew [`MAX_TCP_LINE`].
+    TooLong,
+}
+
+/// Reads one `\n`-terminated request line into `line` (terminator kept,
+/// matching `BufRead::read_line`). Every read goes through a `take`
+/// bounded by the remaining line budget, so an endless unterminated line
+/// is cut off as [`LineStop::TooLong`] instead of growing without bound.
+/// Blocked reads tick every [`READ_TICK`] against the shutdown flag and
+/// `idle`; only a complete line resets the idle clock.
+fn read_request_line(
+    inner: &Inner,
+    reader: &mut BufReader<TcpStream>,
+    idle: &mut Duration,
+    line: &mut String,
+) -> std::io::Result<Result<(), LineStop>> {
+    line.clear();
+    let mut buf = Vec::new();
+    loop {
+        let budget = (MAX_TCP_LINE + 2).saturating_sub(buf.len()) as u64;
+        if budget == 0 {
+            return Ok(Err(LineStop::TooLong));
+        }
+        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
+            Ok(0) => return Ok(Err(LineStop::Eof)), // client closed (even mid-line)
+            Ok(_) => {
+                if buf.last() != Some(&b'\n') {
+                    continue; // budget spent mid-line → TooLong above
+                }
+                *idle = Duration::ZERO;
+                let text = std::str::from_utf8(&buf)
+                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+                line.push_str(text);
+                return Ok(Ok(()));
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return Ok(Err(LineStop::Shutdown));
+                }
+                *idle += READ_TICK;
+                if let Some(limit) = inner.cfg.idle_timeout {
+                    if *idle >= limit {
+                        return Ok(Err(LineStop::IdleTimeout));
+                    }
+                }
+                // Partial bytes already in `buf` survive the retry (a
+                // byte-trickling client still counts as idle).
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TICK))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
@@ -584,33 +651,26 @@ fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
     let mut line = String::new();
     let mut idle = Duration::ZERO;
     loop {
-        // A read timeout re-checks the shutdown flag and advances the
-        // idle clock; partial bytes already appended to `line` survive
-        // the retry (a byte-trickling client still counts as idle — only
-        // a *complete* request line resets the clock).
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) => idle = Duration::ZERO,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-                idle += READ_TICK;
-                if let Some(limit) = inner.cfg.idle_timeout {
-                    if idle >= limit {
-                        // Best effort: the client may be past listening.
-                        let _ = stream
-                            .write_all(encode_error("session idle timeout", false).as_bytes());
-                        return Err(std::io::Error::new(
-                            ErrorKind::TimedOut,
-                            "session idle timeout",
-                        ));
-                    }
-                }
-                continue;
+        match read_request_line(inner, &mut reader, &mut idle, &mut line)? {
+            Ok(()) => {}
+            Err(LineStop::Eof | LineStop::Shutdown) => return Ok(()),
+            Err(LineStop::IdleTimeout) => {
+                // Best effort: the client may be past listening.
+                let _ = stream.write_all(encode_error("session idle timeout", false).as_bytes());
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "session idle timeout",
+                ));
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
+            Err(LineStop::TooLong) => {
+                inner
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                // Framing is lost mid-line; answer and close.
+                let _ = stream.write_all(encode_error("request line too long", false).as_bytes());
+                return Ok(());
+            }
         }
         if line.trim().is_empty() {
             line.clear();

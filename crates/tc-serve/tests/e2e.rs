@@ -254,6 +254,40 @@ fn protocol_errors_keep_the_session_alive() {
 }
 
 #[test]
+fn endless_unterminated_line_is_cut_off() {
+    let tree = sample_tree();
+    let (addr, handle, join) = spawn_server(&tree, ServeConfig::default());
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    assert!(line.starts_with("TCSERVE"), "{line}");
+
+    // Stream newline-less bytes past the request-line cap: the server
+    // must cut the session off instead of buffering without bound.
+    let mut stream = stream;
+    let chunk = vec![b'7'; 64 * 1024];
+    for _ in 0..20 {
+        if stream.write_all(&chunk).is_err() {
+            break; // already cut off — that's the point
+        }
+    }
+    line.clear();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => {} // closed/reset before the ERR was readable
+        Ok(_) => assert!(line.starts_with("ERR\t"), "{line}"),
+    }
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert!(stats.protocol_errors >= 1, "cut-off was not counted");
+}
+
+#[test]
 fn shutdown_verb_stops_the_daemon() {
     let tree = sample_tree();
     let (addr, _handle, join) = spawn_server(&tree, ServeConfig::default());

@@ -213,6 +213,34 @@ fn raw_roundtrip(addr: &str, payload: &[u8]) -> String {
 }
 
 #[test]
+fn endless_unterminated_line_is_cut_off_not_buffered() {
+    let tree = sample_tree(3, 2);
+    let (addr, handle, join) = spawn_http_server(&tree, ServeConfig::default());
+
+    // Stream newline-less bytes past the line cap: the server must
+    // answer 400 and close while the "line" is still arriving, instead
+    // of buffering it without bound waiting for a newline.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let chunk = [b'a'; 2048];
+    for _ in 0..5 {
+        if s.write_all(&chunk).is_err() {
+            break; // already cut off — that's the point
+        }
+    }
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    let reply = String::from_utf8_lossy(&out);
+    assert!(reply.starts_with("HTTP/1.1 400 "), "{reply}");
+    assert!(reply.contains("too long"), "{reply}");
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert!(stats.protocol_errors >= 1);
+}
+
+#[test]
 fn malformed_requests_get_json_400_and_never_hang_the_daemon() {
     let tree = sample_tree(3, 2);
     let (addr, handle, join) = spawn_http_server(&tree, ServeConfig::default());

@@ -4,7 +4,8 @@
 //! (or a well-behaved HTTP client) writes itself — `tc-bench`'s telemetry
 //! reports and `tc-serve`'s `POST /query` batch bodies — so a small
 //! recursive-descent parser over the full JSON grammar is plenty.
-//! Keeping it total (no panics on malformed input) lets `bench_compare`
+//! Keeping it total (no panics on malformed input, nesting capped at
+//! [`MAX_DEPTH`] so recursion is bounded) lets `bench_compare`
 //! give a real diagnostic on a damaged baseline file and lets the HTTP
 //! front-end answer a malformed body with a `400` instead of a crash.
 
@@ -55,11 +56,17 @@ impl JsonValue {
     }
 }
 
+/// Deepest accepted array/object nesting. Recursion is bounded by this,
+/// so a hostile document of tens of thousands of `[`s is an `Err`, not a
+/// stack overflow aborting the process.
+const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document; trailing garbage is an error.
 pub fn parse(text: &str) -> Result<JsonValue, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -73,6 +80,7 @@ pub fn parse(text: &str) -> Result<JsonValue, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -115,8 +123,8 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -124,6 +132,24 @@ impl Parser<'_> {
             Some(b'-' | b'0'..=b'9') => self.number(),
             other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
         }
+    }
+
+    /// Runs one container parse (`object`/`array`) a recursion level
+    /// deeper, failing past [`MAX_DEPTH`].
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        let value = f(self)?;
+        self.depth -= 1;
+        Ok(value)
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
@@ -272,5 +298,21 @@ mod tests {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "1 2", "nul"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_overflowed() {
+        // At the cap: fine.
+        let ok = "[".repeat(MAX_DEPTH) + "1" + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // One past the cap: a clean error.
+        let over = "[".repeat(MAX_DEPTH + 1) + "1" + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&over).unwrap_err().contains("nesting"));
+        // A hostile bomb far below any body-size cap must not abort the
+        // process (unterminated on purpose — depth fails before syntax).
+        let bomb = "[".repeat(50_000);
+        assert!(parse(&bomb).is_err());
+        let bomb = "{\"a\":".repeat(50_000);
+        assert!(parse(&bomb).is_err());
     }
 }
