@@ -130,6 +130,28 @@ fn fail(msg: impl std::fmt::Display) -> i32 {
     2
 }
 
+/// Parses a byte-size flag value: a plain integer with an optional
+/// `K`/`M`/`G` (or `KB`/`MB`/`GB`, case-insensitive) binary suffix, e.g.
+/// `4096`, `64M`, `1G`. `0` means "unbounded" to the callers.
+fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let upper = t.to_ascii_uppercase();
+    let (digits, shift) = if let Some(d) = upper.strip_suffix("GB").or(upper.strip_suffix("G")) {
+        (d, 30u32)
+    } else if let Some(d) = upper.strip_suffix("MB").or(upper.strip_suffix("M")) {
+        (d, 20)
+    } else if let Some(d) = upper.strip_suffix("KB").or(upper.strip_suffix("K")) {
+        (d, 10)
+    } else {
+        (upper.as_str(), 0)
+    };
+    let err = || format!("bad byte size '{s}' (expected N, NK, NM, or NG)");
+    let n: u64 = digits.trim().parse().map_err(|_| err())?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("byte size '{s}' overflows"))
+}
+
 /// The shared `--threads` default for `mine` and `index`: every core the
 /// host offers. Results are identical at any thread count (the parallel
 /// miner and builders are exact), so defaulting to full parallelism only
@@ -647,6 +669,11 @@ fn query_remote(
 /// client IP at N requests/second (0, the default, disables). Sessions
 /// idle longer than `--session-timeout` seconds (default 300; 0
 /// disables) are closed to free their admission slot.
+///
+/// Memory envelope: `--cache-bytes N[K|M|G]` bounds the bytes of
+/// materialised truss decompositions (0, the default, is unbounded), and
+/// `--page-source buffered|mmap` picks the page-read backing. Both apply
+/// to `SIGHUP` reloads as well.
 pub fn serve(args: &[String]) -> i32 {
     let flags = match Flags::parse(
         args,
@@ -657,6 +684,8 @@ pub fn serve(args: &[String]) -> i32 {
             "max-inflight",
             "session-timeout",
             "rate-limit",
+            "cache-bytes",
+            "page-source",
         ],
     ) {
         Ok(f) => f,
@@ -665,7 +694,8 @@ pub fn serve(args: &[String]) -> i32 {
     let Some(path) = flags.positional.first() else {
         return fail(
             "usage: tc serve <tree.seg> [--addr host:port] [--http-addr host:port] \
-             [--workers N] [--max-inflight N] [--session-timeout secs] [--rate-limit per-sec]",
+             [--workers N] [--max-inflight N] [--session-timeout secs] [--rate-limit per-sec] \
+             [--cache-bytes N[K|M|G]] [--page-source buffered|mmap]",
         );
     };
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7641");
@@ -688,12 +718,28 @@ pub fn serve(args: &[String]) -> i32 {
         Ok(per_sec) => Some(tc_serve::RateLimit::per_second(per_sec as f64)),
         Err(e) => return fail(e),
     };
+    let cache_bytes = match flags.get("cache-bytes").map(parse_byte_size) {
+        None | Some(Ok(0)) => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(e)) => return fail(e),
+    };
+    let source = match flags.get("page-source") {
+        None => tc_store::SourceKind::default(),
+        Some(s) => match tc_store::SourceKind::parse(s) {
+            Some(k) => k,
+            None => return fail(format!("--page-source {s}: expected buffered or mmap")),
+        },
+    };
+    let store = tc_store::StoreOptions {
+        source,
+        cache_bytes,
+    };
 
     // The daemon serves the lazy segment reader only: a text tree would
     // mean re-parsing the whole index up front — convert it once instead.
     let p = Path::new(path.as_str());
     let tree = match tc_store::detect_format(p).map_err(|e| e.to_string()) {
-        Ok(DetectedFormat::SegmentTree) => match SegmentTcTree::open(p) {
+        Ok(DetectedFormat::SegmentTree) => match SegmentTcTree::open_with(p, store) {
             Ok(t) => t,
             Err(e) => return fail(e),
         },
@@ -722,6 +768,7 @@ pub fn serve(args: &[String]) -> i32 {
             http_addr,
             rate_limit,
             reload_path: Some(std::path::PathBuf::from(path)),
+            store,
         },
     ) {
         Ok(s) => s,
@@ -732,7 +779,10 @@ pub fn serve(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     println!(
-        "tc-serve listening on {local} ({path}, workers={workers}, max-inflight={max_inflight})"
+        "tc-serve listening on {local} ({path}, workers={workers}, max-inflight={max_inflight}, \
+         page-source={}, cache-bytes={})",
+        source.name(),
+        cache_bytes.map_or_else(|| "unbounded".to_string(), |n| n.to_string())
     );
     if let Some(http) = server.local_http_addr() {
         match http {
@@ -1078,6 +1128,26 @@ mod tests {
     #[test]
     fn flags_missing_value_is_error() {
         assert!(Flags::parse(&strs(&["--alpha"]), &["alpha"]).is_err());
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("4096"), Ok(4096));
+        assert_eq!(parse_byte_size("0"), Ok(0));
+        assert_eq!(parse_byte_size("64K"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("64kb"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("8M"), Ok(8 << 20));
+        assert_eq!(parse_byte_size("2G"), Ok(2u64 << 30));
+        assert_eq!(parse_byte_size(" 16m "), Ok(16 << 20));
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("G").is_err());
+        assert!(parse_byte_size("12T").is_err());
+        assert!(parse_byte_size("-5M").is_err());
+        assert!(parse_byte_size("99999999999999999999G").is_err());
+        assert!(
+            parse_byte_size(&format!("{}G", u64::MAX / 2)).is_err(),
+            "shifted-out bits must error, not truncate"
+        );
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! The materialisation trait surface: how much of an index is resident.
+//!
+//! Every index backend answers the same two questions — *how many nodes
+//! are in memory right now* (a gauge that a bounded cache moves both
+//! ways) and *how much materialisation work has been done since open* (a
+//! counter that only grows). The fully in-memory [`TcTree`] answers
+//! trivially; the lazy segment reader in `tc-store` answers from its
+//! node cache. The serving layer reports both through this trait without
+//! knowing which backend it holds.
+
+use crate::tree::TcTree;
+
+/// Residency accounting for an index backend.
+///
+/// `materialized_nodes` is a **gauge** — it decrements when a bounded
+/// cache evicts — while `materialized_total` is a **counter**:
+/// re-materialising an evicted node counts again, so
+/// `materialized_total - materialized_nodes` (for an eager backend, `0`)
+/// measures redundant parse work caused by the byte budget.
+pub trait Materialization {
+    /// Nodes currently resident in memory (excluding the root, matching
+    /// [`TcTree::num_nodes`] conventions where applicable).
+    fn materialized_nodes(&self) -> usize;
+
+    /// Nodes materialised since open, cumulative.
+    fn materialized_total(&self) -> u64;
+}
+
+/// An in-memory tree is always fully materialised: the gauge equals the
+/// node count and never moves after build.
+impl Materialization for TcTree {
+    fn materialized_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn materialized_total(&self) -> u64 {
+        self.num_nodes() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TcTreeBuilder;
+    use tc_core::DatabaseNetworkBuilder;
+
+    #[test]
+    fn in_memory_tree_is_fully_materialized() {
+        let mut b = DatabaseNetworkBuilder::new();
+        let x = b.intern_item("x");
+        for v in 0..3u32 {
+            for _ in 0..4 {
+                b.add_transaction(v, &[x]);
+            }
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        let tree = TcTreeBuilder::default().build(&b.build().unwrap());
+        let m: &dyn Materialization = &tree;
+        assert_eq!(m.materialized_nodes(), tree.num_nodes());
+        assert_eq!(m.materialized_total(), tree.num_nodes() as u64);
+    }
+}

@@ -459,9 +459,10 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> (u16, &'stat
                 200,
                 CT_JSON,
                 format!(
-                    "{{\"status\":\"ok\",\"nodes\":{},\"materialized\":{},\"alpha_star\":{}}}\n",
+                    "{{\"status\":\"ok\",\"nodes\":{},\"materialized\":{},\"cache_bytes_used\":{},\"alpha_star\":{}}}\n",
                     tree.num_nodes(),
                     tree.materialized_nodes(),
+                    tree.cache_stats().bytes_used,
                     tree.alpha_upper_bound()
                 ),
             )
@@ -470,8 +471,7 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> (u16, &'stat
             let tree = inner.tree.load();
             let text = inner.metrics.render_prometheus(
                 inner.inflight.load(Ordering::SeqCst) as u64,
-                tree.num_nodes() as u64,
-                tree.materialized_nodes() as u64,
+                crate::metrics::TreeGauges::of(&tree),
             );
             (200, CT_METRICS, text)
         }

@@ -85,6 +85,56 @@ impl Histogram {
 /// order. Indexes into [`Metrics::http_responses`].
 pub const HTTP_CODES: [u16; 8] = [200, 400, 404, 405, 413, 429, 500, 503];
 
+/// Point-in-time tree and node-cache gauges, sampled from the served
+/// segment by the caller of [`Metrics::render_prometheus`] (the tree is
+/// swappable via hot-reload, so [`Metrics`] never holds it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeGauges {
+    /// TC-Tree nodes in the served segment (excluding the root).
+    pub nodes: u64,
+    /// Nodes currently resident in the cache (falls on eviction).
+    pub materialized: u64,
+    /// Materialisations since open, cumulative across evictions.
+    pub materialized_total: u64,
+    /// Accounted bytes of resident truss decompositions.
+    pub cache_bytes_used: u64,
+    /// Configured cache budget in bytes; `0` = unbounded.
+    pub cache_budget: u64,
+    /// Nodes evicted by the cache's clock sweep.
+    pub cache_evictions: u64,
+    /// Cache lookups that found a resident node.
+    pub cache_hits: u64,
+    /// Cache lookups that had to materialise.
+    pub cache_misses: u64,
+}
+
+impl TreeGauges {
+    /// Samples every gauge from a served segment tree.
+    pub fn of(tree: &tc_store::SegmentTcTree) -> TreeGauges {
+        let s = tree.cache_stats();
+        TreeGauges {
+            nodes: tree.num_nodes() as u64,
+            materialized: s.resident as u64,
+            materialized_total: s.materialized_total,
+            cache_bytes_used: s.bytes_used,
+            cache_budget: s.budget.unwrap_or(0),
+            cache_evictions: s.evictions,
+            cache_hits: s.hits,
+            cache_misses: s.misses,
+        }
+    }
+
+    /// Cache hit fraction in `[0, 1]`; `1.0` before any lookup.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The daemon's shared telemetry: admission, per-verb, error, reload, and
 /// HTTP-response counters plus per-verb latency histograms.
 #[derive(Debug, Default)]
@@ -148,8 +198,9 @@ impl Metrics {
     /// Renders the Prometheus text exposition (format version 0.0.4).
     ///
     /// Gauges that live outside the counter set (inflight sessions, tree
-    /// geometry) are passed in by the caller holding them.
-    pub fn render_prometheus(&self, inflight: u64, nodes: u64, materialized: u64) -> String {
+    /// geometry, node-cache state) are passed in by the caller holding
+    /// the current tree snapshot.
+    pub fn render_prometheus(&self, inflight: u64, tree: TreeGauges) -> String {
         let mut out = String::with_capacity(4096);
         let c = |out: &mut String, name: &str, help: &str, rows: &[(&str, u64)]| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -229,14 +280,53 @@ impl Metrics {
             &mut out,
             "tcserve_tree_nodes",
             "TC-Tree nodes in the currently served segment.",
-            nodes,
+            tree.nodes,
         );
         g(
             &mut out,
             "tcserve_tree_materialized_nodes",
-            "TC-Tree nodes materialised on demand so far.",
-            materialized,
+            "TC-Tree nodes currently resident in the node cache (falls on eviction).",
+            tree.materialized,
         );
+        c(
+            &mut out,
+            "tcserve_tree_materialized_total",
+            "Node materialisations since open (re-parses after eviction count again).",
+            &[("", tree.materialized_total)],
+        );
+        g(
+            &mut out,
+            "tcserve_cache_bytes_used",
+            "Accounted bytes of resident truss decompositions.",
+            tree.cache_bytes_used,
+        );
+        g(
+            &mut out,
+            "tcserve_cache_bytes_budget",
+            "Configured node-cache byte budget (0 = unbounded).",
+            tree.cache_budget,
+        );
+        c(
+            &mut out,
+            "tcserve_cache_evictions_total",
+            "Nodes evicted by the cache's clock sweep.",
+            &[("", tree.cache_evictions)],
+        );
+        c(
+            &mut out,
+            "tcserve_cache_lookups_total",
+            "Node-cache lookups, by outcome.",
+            &[
+                ("{outcome=\"hit\"}", tree.cache_hits),
+                ("{outcome=\"miss\"}", tree.cache_misses),
+            ],
+        );
+        out.push_str(&format!(
+            "# HELP tcserve_cache_hit_ratio Node-cache hit fraction in [0, 1] (1 before any lookup).\n\
+             # TYPE tcserve_cache_hit_ratio gauge\n\
+             tcserve_cache_hit_ratio {}\n",
+            tree.cache_hit_ratio()
+        ));
         for (verb, h) in [
             ("qba", &self.qba_latency),
             ("qbp", &self.qbp_latency),
@@ -302,9 +392,28 @@ mod tests {
         m.qba_latency.observe(0.0001);
         m.count_http_response(200);
         m.count_http_response(418); // unknown → folds into 500
-        let text = m.render_prometheus(2, 1469, 17);
+        let text = m.render_prometheus(
+            2,
+            TreeGauges {
+                nodes: 1469,
+                materialized: 17,
+                materialized_total: 23,
+                cache_bytes_used: 4096,
+                cache_budget: 65536,
+                cache_evictions: 6,
+                cache_hits: 40,
+                cache_misses: 10,
+            },
+        );
         assert!(text.contains("tcserve_requests_total{verb=\"qba\"} 3\n"));
         assert!(text.contains("tcserve_inflight_sessions 2\n"));
+        assert!(text.contains("tcserve_tree_materialized_nodes 17\n"));
+        assert!(text.contains("tcserve_tree_materialized_total 23\n"));
+        assert!(text.contains("tcserve_cache_bytes_used 4096\n"));
+        assert!(text.contains("tcserve_cache_bytes_budget 65536\n"));
+        assert!(text.contains("tcserve_cache_evictions_total 6\n"));
+        assert!(text.contains("tcserve_cache_lookups_total{outcome=\"hit\"} 40\n"));
+        assert!(text.contains("tcserve_cache_hit_ratio 0.8\n"));
         assert!(text.contains("tcserve_http_responses_total{code=\"200\"} 1\n"));
         assert!(text.contains("tcserve_http_responses_total{code=\"500\"} 1\n"));
         assert!(text.contains("le=\"+Inf\"} 1\n"));
@@ -343,7 +452,7 @@ mod tests {
     fn histogram_family_counts_every_verb_series() {
         let m = Metrics::default();
         m.qbp_latency.observe(0.002);
-        let text = m.render_prometheus(0, 0, 0);
+        let text = m.render_prometheus(0, TreeGauges::default());
         for verb in ["qba", "qbp", "query", "batch"] {
             assert!(
                 text.contains(&format!(

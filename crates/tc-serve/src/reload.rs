@@ -20,14 +20,20 @@
 //!   `ServerHandle::swap_tree` directly.
 //!
 //! The replacement segment is opened and validated **before** the swap
-//! ([`SegmentTcTree::open`] checks magic, header geometry, section
+//! ([`SegmentTcTree::open_with`] checks magic, header geometry, section
 //! lengths, and the node-directory checksum); a segment that fails
 //! validation leaves the old one serving and only bumps
 //! `tcserve_reload_failures_total`.
+//!
+//! Reloads reopen with the daemon's configured [`StoreOptions`], so an
+//! mmap-backed daemon stays mmap-backed and a cache budget survives the
+//! swap. Dropping the old `Arc<SegmentTcTree>` (once its last in-flight
+//! request finishes) unmaps the old source — repeated `SIGHUP`s never
+//! accumulate mappings.
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
-use tc_store::SegmentTcTree;
+use tc_store::{SegmentTcTree, StoreOptions};
 use tc_util::LoadError;
 
 /// The swap cell: readers take a cheap `Arc` clone, the reloader
@@ -61,11 +67,17 @@ impl TreeSlot {
 }
 
 /// Opens and validates `path` as a replacement segment, off the serving
-/// path, and swaps it into `slot` only on success.
+/// path, and swaps it into `slot` only on success. The segment is opened
+/// with `opts` — the daemon's page source and cache budget apply to the
+/// replacement exactly as they did to the original.
 ///
 /// Returns the new segment's node count for the reload log line.
-pub fn reload_from_path(slot: &TreeSlot, path: &Path) -> Result<usize, LoadError> {
-    let fresh = SegmentTcTree::open(path)?;
+pub fn reload_from_path(
+    slot: &TreeSlot,
+    path: &Path,
+    opts: StoreOptions,
+) -> Result<usize, LoadError> {
+    let fresh = SegmentTcTree::open_with(path, opts)?;
     let nodes = fresh.num_nodes();
     slot.store(Arc::new(fresh));
     Ok(nodes)
@@ -124,7 +136,7 @@ mod tests {
         // A damaged file must leave the old segment serving.
         let bad = dir.join("bad.seg");
         std::fs::write(&bad, b"TCSEG01\n garbage").unwrap();
-        assert!(reload_from_path(&slot, &bad).is_err());
+        assert!(reload_from_path(&slot, &bad, StoreOptions::default()).is_err());
         assert_eq!(slot.load().num_nodes(), old_nodes);
 
         // A valid segment swaps in.
@@ -134,9 +146,28 @@ mod tests {
             .unwrap()
             .num_nodes();
         std::fs::write(&good, &replacement_bytes).unwrap();
-        let nodes = reload_from_path(&slot, &good).unwrap();
+        let nodes = reload_from_path(&slot, &good, StoreOptions::default()).unwrap();
         assert_eq!(nodes, replacement_nodes);
         assert_eq!(slot.load().num_nodes(), replacement_nodes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_preserves_store_options() {
+        let dir = std::env::temp_dir().join("tc_serve_reload_opts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let slot = TreeSlot::new(segment_with_vertices(3));
+        let path = dir.join("next.seg");
+        std::fs::write(&path, segment_bytes_with_vertices(6)).unwrap();
+        let opts = StoreOptions {
+            source: tc_store::SourceKind::Mmap,
+            cache_bytes: Some(1 << 20),
+        };
+        reload_from_path(&slot, &path, opts).unwrap();
+        let tree = slot.load();
+        assert_eq!(tree.cache_stats().budget, Some(1 << 20));
+        #[cfg(unix)]
+        assert_eq!(tree.source_kind(), tc_store::SourceKind::Mmap);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,7 +44,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use tc_store::SegmentTcTree;
+use tc_store::{SegmentTcTree, StoreOptions};
 use tc_txdb::{Item, Pattern};
 use tc_util::LoadError;
 
@@ -81,6 +81,10 @@ pub struct ServeConfig {
     /// from. `None` disables path-based reloads (handle-driven
     /// [`ServerHandle::swap_tree`] still works).
     pub reload_path: Option<PathBuf>,
+    /// How the segment is opened — page-source backing and node-cache
+    /// byte budget. Applied on every reload too, so a `--cache-bytes`
+    /// envelope and an mmap backing survive `SIGHUP` swaps.
+    pub store: StoreOptions,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +96,7 @@ impl Default for ServeConfig {
             http_addr: None,
             rate_limit: None,
             reload_path: None,
+            store: StoreOptions::default(),
         }
     }
 }
@@ -199,8 +204,7 @@ impl ServerHandle {
         let tree = self.inner.tree.load();
         self.inner.metrics.render_prometheus(
             self.inner.inflight.load(Ordering::SeqCst) as u64,
-            tree.num_nodes() as u64,
-            tree.materialized_nodes() as u64,
+            crate::metrics::TreeGauges::of(&tree),
         )
     }
 
@@ -225,7 +229,7 @@ impl ServerHandle {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(LoadError::corrupt("no reload path configured"));
         };
-        match crate::reload::reload_from_path(&inner.tree, &path) {
+        match crate::reload::reload_from_path(&inner.tree, &path, inner.cfg.store) {
             Ok(nodes) => {
                 inner.metrics.reloads.fetch_add(1, Ordering::Relaxed);
                 Ok(nodes)
@@ -733,10 +737,22 @@ fn handle_request(
         Request::Stats { json } => {
             m.stats.fetch_add(1, Ordering::Relaxed);
             let s = inner.snapshot();
+            let cache = tree.cache_stats();
+            // The STATS table is integer-valued; the hit *ratio* is
+            // reported as a percentage (floor), exact ratio in /metrics.
+            let hit_total = cache.hits + cache.misses;
+            let hit_pct = (cache.hits * 100).checked_div(hit_total).unwrap_or(100);
             let rows = [
                 ("protocol_version", u64::from(crate::PROTOCOL_VERSION)),
                 ("nodes", tree.num_nodes() as u64),
                 ("materialized_nodes", tree.materialized_nodes() as u64),
+                ("materialized_total", cache.materialized_total),
+                ("cache_bytes_used", cache.bytes_used),
+                ("cache_bytes_budget", cache.budget.unwrap_or(0)),
+                ("cache_evictions", cache.evictions),
+                ("cache_hits", cache.hits),
+                ("cache_misses", cache.misses),
+                ("cache_hit_ratio_pct", hit_pct),
                 ("workers", inner.cfg.workers as u64),
                 ("max_inflight", inner.cfg.max_inflight as u64),
                 ("inflight", s.inflight),

@@ -8,7 +8,13 @@
 //! deserialising the whole index:
 //!
 //! * [`page`] — the substrate: fixed-size pages, per-page CRC-32, a
-//!   magic/version header, and section-addressed byte streams;
+//!   magic/version header, and section-addressed byte streams
+//!   (byte-level spec: `docs/SEGMENT_FORMAT.md` in the repository);
+//! * [`source`] — pluggable [`PageSource`] backings for page reads:
+//!   buffered `read(2)` or `mmap(2)` (direct syscall binding, no new
+//!   dependencies);
+//! * [`cache`] — the byte-budgeted node cache with clock/second-chance
+//!   eviction that bounds a serving daemon's memory envelope;
 //! * [`network`] — segment save/load for [`tc_core::DatabaseNetwork`];
 //! * [`tree`] — segment save for [`tc_index::TcTree`] and
 //!   [`SegmentTcTree`], which serves QBA / QBP queries by materialising
@@ -53,21 +59,26 @@
 //! writes — surfaces as [`LoadError::Checksum`] or [`LoadError::Corrupt`],
 //! never a panic; see `tests/corruption.rs`.
 
+pub mod cache;
 pub mod convert;
 pub mod network;
 pub mod page;
 pub mod sniff;
+pub mod source;
 pub mod tree;
 pub mod wal;
 
+pub use cache::CacheStats;
 pub use network::{
     load_network_segment_from_bytes, load_network_segment_from_path, save_network_segment,
     save_network_segment_to_path,
 };
 pub use page::{SegmentKind, PAGE_SIZE};
 pub use sniff::{detect_format, DetectedFormat};
+pub use source::{PageSource, SourceKind};
 pub use tc_util::LoadError;
 pub use tree::{
     load_tree_segment_from_path, save_tree_segment, save_tree_segment_to_path, SegmentTcTree,
+    StoreOptions,
 };
 pub use wal::{Durability, Wal, WalRecord, WalStore};

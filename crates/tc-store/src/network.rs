@@ -1,4 +1,5 @@
 //! Binary segment persistence for [`DatabaseNetwork`] (segment kind 1).
+//! Byte-level spec: `docs/SEGMENT_FORMAT.md` in the repository.
 //!
 //! Three sections:
 //!

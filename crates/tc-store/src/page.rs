@@ -1,6 +1,10 @@
 //! The paged segment substrate: fixed-size CRC-checked pages, a
 //! checksummed header page, and section-addressed byte streams.
 //!
+//! The normative byte-level specification, with worked hexdumps, is
+//! `docs/SEGMENT_FORMAT.md` in the repository; this module is its
+//! implementation.
+//!
 //! ## File layout
 //!
 //! A segment file is a sequence of fixed-size pages ([`PAGE_SIZE`] bytes).
@@ -31,7 +35,8 @@
 //! sub-ranges of a section without touching the rest of the file — the
 //! basis of the lazy TC-Tree reader in [`crate::tree`].
 
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::source::{open_source, MemSource, PageSource, SourceKind};
+use std::io::Write;
 use std::path::Path;
 use tc_util::bytes::{checked_len_u32, put_u16, put_u32, put_u64, ByteReader};
 use tc_util::{Crc32, LoadError};
@@ -181,38 +186,41 @@ pub fn write_segment<W: Write>(
 ///
 /// Every page read re-verifies that page's CRC, so damage in regions that
 /// are only touched lazily still surfaces as [`LoadError::Checksum`] at
-/// access time; [`PageFile::open`] additionally validates the header page
-/// and the file's total length eagerly, so truncation is caught up front.
+/// access time — regardless of the [`PageSource`] backing the reads;
+/// [`PageFile::open`] additionally validates the header page and the
+/// file's total length eagerly, so truncation is caught up front.
 #[derive(Debug)]
 pub struct PageFile {
-    backing: Backing,
+    source: Box<dyn PageSource>,
     header: Header,
 }
 
-#[derive(Debug)]
-enum Backing {
-    File(parking_lot::Mutex<std::fs::File>),
-    Mem(Vec<u8>),
-}
-
 impl PageFile {
-    /// Opens `path`, validating the header page, section geometry, and the
-    /// total file length.
+    /// Opens `path` with the default buffered reader, validating the
+    /// header page, section geometry, and the total file length.
     pub fn open(path: &Path) -> Result<PageFile, LoadError> {
-        let file = std::fs::File::open(path)?;
-        let actual_len = file.metadata()?.len();
-        Self::with_backing(Backing::File(parking_lot::Mutex::new(file)), actual_len)
+        Self::open_with(path, SourceKind::default())
+    }
+
+    /// Opens `path` through the requested [`SourceKind`].
+    pub fn open_with(path: &Path, kind: SourceKind) -> Result<PageFile, LoadError> {
+        Self::with_source(open_source(path, kind)?)
     }
 
     /// Opens an in-memory segment image (tests, conversions).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<PageFile, LoadError> {
-        let len = bytes.len() as u64;
-        Self::with_backing(Backing::Mem(bytes), len)
+        Self::with_source(Box::new(MemSource(bytes)))
     }
 
-    fn with_backing(backing: Backing, actual_len: u64) -> Result<PageFile, LoadError> {
+    /// The backing this file reads through (for diagnostics).
+    pub fn source_kind(&self) -> SourceKind {
+        self.source.kind()
+    }
+
+    fn with_source(source: Box<dyn PageSource>) -> Result<PageFile, LoadError> {
+        let actual_len = source.len();
         let mut pf = PageFile {
-            backing,
+            source,
             header: Header {
                 kind: SegmentKind::Network,
                 sections: Vec::new(),
@@ -255,29 +263,20 @@ impl PageFile {
     fn read_raw_page(&self, index: u64) -> Result<[u8; PAGE_SIZE], LoadError> {
         let mut page = [0u8; PAGE_SIZE];
         let off = index * PAGE_SIZE as u64;
-        match &self.backing {
-            Backing::File(file) => {
-                let mut f = file.lock();
-                f.seek(SeekFrom::Start(off))?;
-                f.read_exact(&mut page).map_err(|e| {
-                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                        LoadError::corrupt(format!("segment: page {index} truncated"))
-                    } else {
-                        LoadError::Io(e)
-                    }
-                })?;
-            }
-            Backing::Mem(bytes) => {
-                let start = off as usize;
-                let end = start + PAGE_SIZE;
-                if end > bytes.len() {
-                    return Err(LoadError::corrupt(format!(
-                        "segment: page {index} truncated"
-                    )));
-                }
-                page.copy_from_slice(&bytes[start..end]);
-            }
+        if off
+            .checked_add(PAGE_SIZE as u64)
+            .is_none_or(|end| end > self.source.len())
+        {
+            return Err(LoadError::corrupt(format!(
+                "segment: page {index} truncated"
+            )));
         }
+        self.source.read_at(off, &mut page).map_err(|e| match e {
+            LoadError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                LoadError::corrupt(format!("segment: page {index} truncated"))
+            }
+            other => other,
+        })?;
         Ok(page)
     }
 

@@ -14,11 +14,21 @@
 //! decompositions themselves (the bulk of the data) are materialised per
 //! node on first touch, from exactly the pages that overlap the node's
 //! byte range. A query that prunes a subtree never reads its pages.
+//!
+//! Materialised nodes live in a byte-budgeted node cache: unbounded by
+//! default (every touched node stays resident, the original behaviour),
+//! or byte-budgeted via [`StoreOptions::cache_bytes`] so a daemon can
+//! serve a segment much larger than its memory envelope. Page reads go
+//! through a pluggable [`crate::source::PageSource`]
+//! ([`StoreOptions::source`]): buffered `read(2)` or `mmap(2)`.
+//! See `docs/SEGMENT_FORMAT.md` for the byte-level format specification.
 
+use crate::cache::{CacheStats, NodeCache};
 use crate::page::{write_segment, PageFile, SectionInfo, SegmentKind};
+use crate::source::SourceKind;
 use std::io::Write;
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::Arc;
 use tc_core::{TrussDecomposition, TrussLevel};
 use tc_index::{QueryResult, TcNode, TcTree};
 use tc_txdb::{Item, Pattern};
@@ -87,31 +97,60 @@ struct NodeSkel {
     blob_len: u64,
 }
 
+/// How to open a [`SegmentTcTree`]: which [`PageSource`] backs page
+/// reads, and whether materialised nodes are byte-budgeted.
+///
+/// The default (`buffered` source, unbounded cache) is exactly the
+/// pre-cache behaviour.
+///
+/// [`PageSource`]: crate::source::PageSource
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreOptions {
+    /// Page-read backing (buffered `read(2)` or `mmap(2)`).
+    pub source: SourceKind,
+    /// Byte budget for resident truss decompositions; `None` = unbounded.
+    pub cache_bytes: Option<u64>,
+}
+
 /// A TC-Tree served lazily from a segment file.
 ///
 /// Opening validates the header, the file length, and the NODES directory;
 /// truss decompositions are parsed on demand (checksum-verified per page)
-/// and cached, so repeated queries touch the file once per node at most.
+/// and held in the node cache, so repeated queries touch the file once
+/// per node — until the cache's byte budget (if any) evicts cold nodes,
+/// after which a re-touch re-parses the identical bytes.
 #[derive(Debug)]
 pub struct SegmentTcTree {
     pages: PageFile,
     levels: SectionInfo,
     skel: Vec<NodeSkel>,
-    cache: Vec<OnceLock<TrussDecomposition>>,
+    cache: NodeCache,
 }
 
 impl SegmentTcTree {
-    /// Opens a tree segment at `path`.
+    /// Opens a tree segment at `path` with default [`StoreOptions`].
     pub fn open(path: &Path) -> Result<SegmentTcTree, LoadError> {
-        Self::from_pages(PageFile::open(path)?)
+        Self::open_with(path, StoreOptions::default())
+    }
+
+    /// Opens a tree segment at `path` with an explicit source and cache
+    /// budget.
+    pub fn open_with(path: &Path, opts: StoreOptions) -> Result<SegmentTcTree, LoadError> {
+        Self::from_pages(PageFile::open_with(path, opts.source)?, opts)
     }
 
     /// Opens an in-memory segment image (tests, conversions).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<SegmentTcTree, LoadError> {
-        Self::from_pages(PageFile::from_bytes(bytes)?)
+        Self::from_bytes_with(bytes, StoreOptions::default())
     }
 
-    fn from_pages(pages: PageFile) -> Result<SegmentTcTree, LoadError> {
+    /// Opens an in-memory segment image with an explicit cache budget
+    /// (the source option is moot — the image is already in memory).
+    pub fn from_bytes_with(bytes: Vec<u8>, opts: StoreOptions) -> Result<SegmentTcTree, LoadError> {
+        Self::from_pages(PageFile::from_bytes(bytes)?, opts)
+    }
+
+    fn from_pages(pages: PageFile, opts: StoreOptions) -> Result<SegmentTcTree, LoadError> {
         if pages.header().kind != SegmentKind::TcTree {
             return Err(corrupt("segment holds a network, not a TC-Tree"));
         }
@@ -170,7 +209,7 @@ impl SegmentTcTree {
         if !r.is_empty() {
             return Err(corrupt("trailing bytes in NODES directory"));
         }
-        let cache = (0..skel.len()).map(|_| OnceLock::new()).collect();
+        let cache = NodeCache::new(skel.len(), opts.cache_bytes);
         Ok(SegmentTcTree {
             pages,
             levels,
@@ -196,24 +235,42 @@ impl SegmentTcTree {
         self.skel.iter().map(|n| n.max_alpha).fold(0.0, f64::max)
     }
 
-    /// How many nodes have been materialised so far — the laziness gauge
-    /// asserted by tests and reported by the CLI.
+    /// Nodes **currently resident** in the cache — a true gauge: it rises
+    /// on materialisation and falls on eviction. (Cumulative work is
+    /// [`SegmentTcTree::materialized_total`].)
     pub fn materialized_nodes(&self) -> usize {
-        self.cache.iter().filter(|c| c.get().is_some()).count()
+        self.cache.resident()
+    }
+
+    /// Materialisations since open, cumulative — a re-materialised
+    /// (previously evicted) node counts again.
+    pub fn materialized_total(&self) -> u64 {
+        self.cache.stats().materialized_total
+    }
+
+    /// Snapshot of the node-cache counters (bytes, budget, hits, misses,
+    /// evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The [`SourceKind`] backing page reads.
+    pub fn source_kind(&self) -> SourceKind {
+        self.pages.source_kind()
     }
 
     /// The decomposition of node `id`, reading it from the file on first
-    /// touch.
-    pub fn truss(&self, id: u32) -> Result<&TrussDecomposition, LoadError> {
-        let slot = &self.cache[id as usize];
-        if let Some(t) = slot.get() {
+    /// touch (or again after eviction). The returned `Arc` pins the data
+    /// for the caller — eviction can never invalidate it mid-query.
+    pub fn truss(&self, id: u32) -> Result<Arc<TrussDecomposition>, LoadError> {
+        if let Some(t) = self.cache.get(id) {
             return Ok(t);
         }
-        let parsed = self.parse_node(id)?;
         // A concurrent materialisation of the same node parses identical
-        // bytes, so losing the race is harmless.
-        let _ = slot.set(parsed);
-        Ok(slot.get().expect("just set"))
+        // bytes, so losing the insert race is harmless — `insert` adopts
+        // the winner's entry.
+        let parsed = self.parse_node(id)?;
+        Ok(self.cache.insert(id, parsed))
     }
 
     fn parse_node(&self, id: u32) -> Result<TrussDecomposition, LoadError> {
@@ -324,10 +381,22 @@ impl SegmentTcTree {
                 pattern: n.pattern.clone(),
                 parent: n.parent,
                 children: n.children.clone(),
-                truss: self.truss(id)?.clone(),
+                truss: self.truss(id)?.as_ref().clone(),
             });
         }
         Ok(TcTree::from_nodes(nodes))
+    }
+}
+
+/// The lazy reader's residency comes straight from its node cache: the
+/// gauge falls on eviction, the total keeps counting re-parses.
+impl tc_index::Materialization for SegmentTcTree {
+    fn materialized_nodes(&self) -> usize {
+        SegmentTcTree::materialized_nodes(self)
+    }
+
+    fn materialized_total(&self) -> u64 {
+        SegmentTcTree::materialized_total(self)
     }
 }
 

@@ -9,6 +9,10 @@
 //! [`faults`] module is the proof layer: a storage trait with a
 //! deterministic fault-injecting implementation that the crash-recovery
 //! test suite drives exhaustively.
+//!
+//! The frame grammar and a worked hexdump live in
+//! `docs/SEGMENT_FORMAT.md`; operational procedures (fsync policy,
+//! recovery runbook) in `docs/OPERATIONS.md`.
 
 pub mod faults;
 pub mod reader;

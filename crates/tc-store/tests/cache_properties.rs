@@ -1,0 +1,182 @@
+//! Property tests for the byte-budgeted node cache: for **any** query
+//! sequence and **any** budget with room for at least the largest single
+//! node,
+//!
+//! * answers are byte-identical to the unbounded tree (budget is an
+//!   envelope knob, never a correctness knob);
+//! * `cache_bytes_used` never exceeds the budget at any observation
+//!   point between queries;
+//! * a re-materialised (previously evicted) node equals its first
+//!   materialisation field-for-field — and the segment format is
+//!   canonical, so value equality is byte identity;
+//! * the ledger balances: `materialized_total - resident == evictions`.
+
+use proptest::prelude::*;
+use tc_core::{DatabaseNetwork, DatabaseNetworkBuilder, TrussDecomposition};
+use tc_index::{TcTree, TcTreeBuilder};
+use tc_store::{SegmentTcTree, StoreOptions};
+use tc_txdb::Item;
+
+const MAX_V: u32 = 7;
+const MAX_ITEMS: u32 = 5;
+
+/// Builds a valid network from arbitrary raw parts: endpoints are reduced
+/// mod the vertex count, self loops dropped, transactions deduplicated.
+fn build_network(n: u32, raw_edges: &[(u32, u32)], raw_txs: &[(u32, Vec<u32>)]) -> DatabaseNetwork {
+    let mut b = DatabaseNetworkBuilder::new();
+    let items: Vec<Item> = (0..MAX_ITEMS)
+        .map(|i| b.intern_item(&format!("w{i}")))
+        .collect();
+    for &(u, v) in raw_edges {
+        let (u, v) = (u % n, v % n);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    for (v, tx) in raw_txs {
+        let mut ids: Vec<u32> = tx.iter().map(|&i| i % MAX_ITEMS).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let tx: Vec<Item> = ids.into_iter().map(|i| items[i as usize]).collect();
+        b.add_transaction(v % n, &tx);
+    }
+    b.ensure_vertex(n - 1);
+    b.build().unwrap()
+}
+
+fn tree_and_segment(
+    n: u32,
+    raw_edges: &[(u32, u32)],
+    raw_txs: &[(u32, Vec<u32>)],
+) -> (TcTree, Vec<u8>) {
+    let net = build_network(n, raw_edges, raw_txs);
+    let tree = TcTreeBuilder {
+        threads: 1,
+        max_len: usize::MAX,
+    }
+    .build(&net);
+    let mut buf = Vec::new();
+    tc_store::save_tree_segment(&tree, &mut buf).unwrap();
+    (tree, buf)
+}
+
+/// Materialises every node of an unbounded probe tree one by one and
+/// reads the per-node accounted size off the ledger deltas. Returns
+/// `(largest_entry, total_bytes)`.
+fn probe_entry_sizes(bytes: &[u8]) -> (u64, u64) {
+    let probe = SegmentTcTree::from_bytes(bytes.to_vec()).unwrap();
+    let mut max_entry = 0u64;
+    let mut prev = 0u64;
+    for id in 1..=probe.num_nodes() as u32 {
+        probe.truss(id).unwrap();
+        let b = probe.cache_stats().bytes_used;
+        max_entry = max_entry.max(b - prev);
+        prev = b;
+    }
+    (max_entry, prev)
+}
+
+/// Both segment trees walk the same skeleton in the same order, so answers
+/// must agree element-for-element, not just as sets.
+fn assert_same_answer(a: &tc_index::QueryResult, b: &tc_index::QueryResult) {
+    assert_eq!(a.retrieved_nodes, b.retrieved_nodes);
+    assert_eq!(a.trusses.len(), b.trusses.len());
+    for (ta, tb) in a.trusses.iter().zip(&b.trusses) {
+        assert_eq!(&ta.pattern, &tb.pattern);
+        assert_eq!(&ta.edges, &tb.edges);
+        assert_eq!(&ta.vertices, &tb.vertices);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn budgeted_answers_equal_unbounded_within_budget(
+        n in 3u32..MAX_V,
+        raw_edges in prop::collection::vec((0u32..64, 0u32..64), 4..28),
+        raw_txs in prop::collection::vec((0u32..64, prop::collection::vec(0u32..64, 1..4)), 4..40),
+        queries in prop::collection::vec((0u32..64, 0.0f64..1.5), 1..24),
+        budget_scale in 0.0f64..1.0,
+    ) {
+        let (tree, bytes) = tree_and_segment(n, &raw_edges, &raw_txs);
+        let (max_entry, total) = probe_entry_sizes(&bytes);
+        // Any budget with room for at least the largest single node.
+        let budget = max_entry + ((total.saturating_sub(max_entry)) as f64 * budget_scale) as u64;
+        let unbounded = SegmentTcTree::from_bytes(bytes.clone()).unwrap();
+        let budgeted = SegmentTcTree::from_bytes_with(
+            bytes,
+            StoreOptions { cache_bytes: Some(budget), ..StoreOptions::default() },
+        ).unwrap();
+
+        for &(sel, alpha) in &queries {
+            if sel % 2 == 0 || tree.num_nodes() == 0 {
+                let a = unbounded.query_by_alpha(alpha).unwrap();
+                let b = budgeted.query_by_alpha(alpha).unwrap();
+                assert_same_answer(&a, &b);
+            } else {
+                let id = 1 + sel % tree.num_nodes() as u32;
+                let q = tree.node(id).pattern.clone();
+                let a = unbounded.query_by_pattern(&q).unwrap();
+                let b = budgeted.query_by_pattern(&q).unwrap();
+                assert_same_answer(&a, &b);
+            }
+            let used = budgeted.cache_stats().bytes_used;
+            prop_assert!(
+                used <= budget,
+                "cache_bytes_used {} exceeds budget {} (max entry {}, total {})",
+                used, budget, max_entry, total
+            );
+        }
+
+        // The ledger balances and the gauges agree.
+        let s = budgeted.cache_stats();
+        prop_assert_eq!(s.resident, budgeted.materialized_nodes());
+        prop_assert_eq!(s.budget, Some(budget));
+        prop_assert_eq!(
+            s.materialized_total - s.resident as u64,
+            s.evictions,
+            "every materialisation is either resident or evicted"
+        );
+        // The unbounded reference never evicts and its gauge equals its counter.
+        let u = unbounded.cache_stats();
+        prop_assert_eq!(u.evictions, 0);
+        prop_assert_eq!(u.materialized_total, u.resident as u64);
+    }
+
+    #[test]
+    fn rematerialized_nodes_are_identical_to_first_materialisation(
+        n in 3u32..MAX_V,
+        raw_edges in prop::collection::vec((0u32..64, 0u32..64), 4..28),
+        raw_txs in prop::collection::vec((0u32..64, prop::collection::vec(0u32..64, 1..4)), 4..40),
+    ) {
+        let (_tree, bytes) = tree_and_segment(n, &raw_edges, &raw_txs);
+        let (max_entry, _total) = probe_entry_sizes(&bytes);
+        let probe = SegmentTcTree::from_bytes(bytes.clone()).unwrap();
+        let nodes = probe.num_nodes();
+        if nodes < 2 {
+            return Ok(()); // nothing to evict against
+        }
+        // Room for roughly one node: every touch of a different node
+        // evicts the previous one, so the second pass re-materialises.
+        let seg = SegmentTcTree::from_bytes_with(
+            bytes,
+            StoreOptions { cache_bytes: Some(max_entry), ..StoreOptions::default() },
+        ).unwrap();
+        let first: Vec<TrussDecomposition> = (1..=nodes as u32)
+            .map(|id| seg.truss(id).unwrap().as_ref().clone())
+            .collect();
+        prop_assert!(seg.cache_stats().evictions > 0, "one-node budget must evict");
+        for pass in 0..2 {
+            for id in 1..=nodes as u32 {
+                let again = seg.truss(id).unwrap();
+                prop_assert_eq!(
+                    again.as_ref(),
+                    &first[(id - 1) as usize],
+                    "node {} diverged on re-materialisation (pass {})",
+                    id, pass
+                );
+            }
+        }
+    }
+}

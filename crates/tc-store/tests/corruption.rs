@@ -127,6 +127,49 @@ fn segment_truncations_fail_at_open() {
     }
 }
 
+/// The mmap read path is checksum-verified exactly like the buffered
+/// path: a bit flip in a lazily-read page surfaces as the **same** typed
+/// `LoadError::Checksum` (same message, even) whether the bytes arrived
+/// via `read(2)` or a mapped load.
+#[test]
+fn mmap_bit_flip_reports_the_same_checksum_error_as_buffered() {
+    use tc_store::{SourceKind, StoreOptions};
+    let clean = tree_segment_bytes();
+    let dir = std::env::temp_dir().join("tc_store_mmap_corruption");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tree.seg");
+    // Flip a payload byte in the file's last page: that page belongs to
+    // the LEVELS section, which open() never touches — the damage is only
+    // reachable through lazy materialisation.
+    let mut bad = clean.clone();
+    let pos = bad.len() - tc_store::PAGE_SIZE + 12;
+    bad[pos] ^= 0x40;
+    std::fs::write(&path, &bad).unwrap();
+
+    let mut messages = Vec::new();
+    for kind in [SourceKind::Buffered, SourceKind::Mmap] {
+        let opts = StoreOptions {
+            source: kind,
+            cache_bytes: None,
+        };
+        let seg = SegmentTcTree::open_with(&path, opts).expect("damage sits in a lazy region");
+        let err = (|| {
+            seg.query_by_alpha(0.0)?;
+            seg.to_tree()?;
+            Ok::<(), LoadError>(())
+        })()
+        .expect_err("flip undetected");
+        assert!(
+            matches!(err, LoadError::Checksum(_)),
+            "{} path: wrong error type {err}",
+            kind.name()
+        );
+        messages.push(err.to_string());
+    }
+    assert_eq!(messages[0], messages[1], "both paths report identically");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn segment_extension_fails_at_open() {
     // Appended garbage breaks the header's length promise.

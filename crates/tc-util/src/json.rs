@@ -5,7 +5,7 @@
 //! reports and `tc-serve`'s `POST /query` batch bodies — so a small
 //! recursive-descent parser over the full JSON grammar is plenty.
 //! Keeping it total (no panics on malformed input, nesting capped at
-//! [`MAX_DEPTH`] so recursion is bounded) lets `bench_compare`
+//! `MAX_DEPTH` (128) so recursion is bounded) lets `bench_compare`
 //! give a real diagnostic on a damaged baseline file and lets the HTTP
 //! front-end answer a malformed body with a `400` instead of a crash.
 
@@ -135,7 +135,7 @@ impl Parser<'_> {
     }
 
     /// Runs one container parse (`object`/`array`) a recursion level
-    /// deeper, failing past [`MAX_DEPTH`].
+    /// deeper, failing past `MAX_DEPTH` (128 levels).
     fn nested(
         &mut self,
         f: fn(&mut Self) -> Result<JsonValue, String>,

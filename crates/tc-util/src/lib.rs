@@ -11,7 +11,7 @@
 //!   compute pattern frequencies.
 //! * [`bytes`] — little-endian encode helpers and a bounds-checked cursor,
 //!   the byte-layout substrate of the `tc-store` segment format.
-//! * [`crc32`] — table-driven CRC-32 (IEEE polynomial), the per-page
+//! * [`mod@crc32`] — table-driven CRC-32 (IEEE polynomial), the per-page
 //!   integrity checksum of the segment format.
 //! * [`error`] — the [`LoadError`] shared by every persistence format
 //!   (text networks, text trees, binary segments).

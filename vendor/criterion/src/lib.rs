@@ -10,7 +10,7 @@
 //! the real crate).
 //!
 //! Measurement model: each benchmark is calibrated so one sample lasts
-//! roughly [`TARGET_SAMPLE`], then `sample_size` samples are timed and
+//! roughly `TARGET_SAMPLE` (10 ms), then `sample_size` samples are timed and
 //! mean / median / standard deviation of the per-iteration time are
 //! printed. There are no HTML reports, baselines, or regression tests.
 //! Swap the `[workspace.dependencies]` entry for the real crate once the

@@ -3,9 +3,10 @@
 //! This build environment has no access to the crates registry, so the
 //! workspace vendors a minimal API-compatible stand-in backed by
 //! `std::sync`. Only the surface actually used by the workspace is
-//! provided: [`Mutex::new`], [`Mutex::lock`] (guard, not `Result`) and
-//! [`Mutex::into_inner`]. Swap the `[workspace.dependencies]` entry for
-//! the real crate once the registry is reachable; no call sites change.
+//! provided: [`Mutex::new`], [`Mutex::lock`] (guard, not `Result`),
+//! [`Mutex::try_lock`] (`Option`, not `Result`) and [`Mutex::into_inner`].
+//! Swap the `[workspace.dependencies]` entry for the real crate once the
+//! registry is reachable; no call sites change.
 
 use std::sync::PoisonError;
 
@@ -36,6 +37,15 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// Attempts to acquire the mutex without blocking; `None` if held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {
@@ -53,6 +63,17 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 #[cfg(test)]
 mod tests {
     use super::Mutex;
+
+    #[test]
+    fn try_lock_fails_only_when_held() {
+        let m = Mutex::new(5);
+        {
+            let g = m.try_lock().expect("uncontended try_lock succeeds");
+            assert_eq!(*g, 5);
+            assert!(m.try_lock().is_none(), "held mutex refuses try_lock");
+        }
+        assert!(m.try_lock().is_some());
+    }
 
     #[test]
     fn lock_and_into_inner() {
