@@ -27,6 +27,13 @@
 //!   the amortisation curve of request framing. The section ends by
 //!   scraping `/metrics` and asserting the per-verb counters actually
 //!   moved (a bench of an unobservable daemon proves nothing).
+//! * **sharded** — the scatter-gather tier: the tree split 1/2/4 ways
+//!   (`tc_store::split_tree`), one daemon per shard, a [`tc_router`]
+//!   gateway over them, and a fixed HTTP client pool driving the same
+//!   QBA/QBP mix through the router. Reported per shard count:
+//!   aggregate QPS and p50, so the fan-out overhead (1 shard) and the
+//!   scatter win (2/4 shards) both stay on the record. The router's
+//!   `/metrics` is scraped and its fan-out counters must have moved.
 //!
 //! With `--json <path>` everything lands in the `tc-bench/v1` report
 //! (bench name `serving`, so `bench_compare` merges the groups as
@@ -362,6 +369,141 @@ fn main() {
         handle_stats.rejected_busy, 0,
         "http sweep must stay under the admission limit"
     );
+
+    // ---- Sharded scatter-gather sweep ----------------------------------
+    // The same HTTP mix through a tc-router gateway over 1, 2, and 4
+    // shard daemons. Client count is fixed so the shard count is the
+    // only variable; 1 shard measures the pure fan-out overhead.
+    let sharded_clients = 4usize;
+    let per_client_sharded = if args.quick { 60 } else { 600 };
+    let mut table = Table::new(
+        format!(
+            "Sharded serving QPS vs shard count ({sharded_clients} HTTP clients, \
+             {per_client_sharded} requests/client)"
+        ),
+        &["Shards", "QPS", "p50"],
+    );
+    for &shard_count in &[1usize, 2, 4] {
+        let mut daemons = Vec::new();
+        let mut entries = Vec::new();
+        for shard in
+            tc_store::split_tree(&tree, tc_store::HashScheme::Crc32Item, shard_count as u32)
+        {
+            let mut bytes = Vec::new();
+            tc_store::save_tree_segment(&shard, &mut bytes).expect("serialize shard");
+            let server = Server::bind(
+                SegmentTcTree::from_bytes(bytes).expect("open shard segment"),
+                "127.0.0.1:0",
+                ServeConfig {
+                    workers: WORKERS,
+                    max_inflight: sharded_clients * 4,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bind shard daemon");
+            entries.push(tc_store::ShardEntry {
+                addr: server.local_addr().expect("shard addr").to_string(),
+                path: String::new(),
+            });
+            daemons.push((
+                server.handle(),
+                std::thread::spawn(move || server.run().expect("shard daemon run")),
+            ));
+        }
+        let map = tc_store::ShardMap {
+            scheme: tc_store::HashScheme::Crc32Item,
+            items: tc_store::level1_items(&tree),
+            shards: entries,
+        };
+        let router = tc_router::Router::bind(
+            map,
+            "127.0.0.1:0",
+            tc_router::RouterConfig {
+                max_inflight: sharded_clients * 4,
+                ..tc_router::RouterConfig::default()
+            },
+        )
+        .expect("bind router");
+        let router_addr = router.local_addr().expect("router addr").to_string();
+        let router_handle = router.handle();
+        let router_thread = std::thread::spawn(move || router.run().expect("router run"));
+
+        let sw = Stopwatch::start();
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sharded_clients)
+                .map(|c| {
+                    let (router_addr, alphas, singles) = (&router_addr, &alphas, &singles);
+                    scope.spawn(move || {
+                        let mut client =
+                            HttpClient::connect(router_addr).expect("connect router client");
+                        let mut lat = Vec::with_capacity(per_client_sharded);
+                        for i in 0..per_client_sharded {
+                            let pick = c + i;
+                            let sw = Stopwatch::start();
+                            let resp = if pick % 2 == 0 || singles.is_empty() {
+                                let alpha = alphas[(pick / 2) % alphas.len()];
+                                client.get(&format!("/qba?alpha={alpha}"))
+                            } else {
+                                let q = &singles[(pick / 2) % singles.len()];
+                                let items =
+                                    q.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+                                client.get(&format!("/qbp?items={items}"))
+                            };
+                            assert!(
+                                resp.expect("router request under load").is_ok(),
+                                "router error under load"
+                            );
+                            lat.push(sw.elapsed_secs());
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("router client panicked"))
+                .collect()
+        });
+        let wall = sw.elapsed_secs();
+        latencies.sort_unstable_by(f64::total_cmp);
+        let qps = (sharded_clients * per_client_sharded) as f64 / wall;
+        let p50 = percentile(&latencies, 0.5);
+        json.push("sharded", format!("sharded_s{shard_count}_qps"), qps);
+        json.push("sharded", format!("sharded_s{shard_count}_p50_secs"), p50);
+        table.push_row(vec![
+            shard_count.to_string(),
+            format!("{qps:.0}"),
+            fmt_secs(p50),
+        ]);
+
+        // Observability: the router must have fanned out to every shard
+        // and seen none of them down.
+        let prom = router_handle.prometheus();
+        for shard in 0..shard_count {
+            let needle = format!("tcrouter_fanout_total{{shard=\"{shard}\"}}");
+            let line = prom
+                .lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("missing metric {needle}"));
+            let value: f64 = line.rsplit(' ').next().unwrap().parse().expect("value");
+            assert!(value > 0.0, "{needle} never moved");
+        }
+        assert!(
+            prom.contains("tcrouter_shards_down 0"),
+            "sharded sweep saw a shard down"
+        );
+        let router_stats = {
+            router_handle.shutdown();
+            router_thread.join().expect("router thread")
+        };
+        assert_eq!(router_stats.shard_errors, 0, "shard RPCs failed under load");
+        for (handle, thread) in daemons {
+            handle.shutdown();
+            thread.join().expect("shard daemon thread");
+        }
+    }
+    table.print();
+    json.push("sharded", "sharded_metrics_scrape_ok", 1.0);
 
     if let Some(path) = &args.json {
         json.write_to_path(path).expect("write json report");

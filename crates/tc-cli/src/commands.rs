@@ -812,6 +812,205 @@ pub fn serve(args: &[String]) -> i32 {
     }
 }
 
+/// `tc shard`: hash-partitions a TC-Tree into N self-contained segment
+/// files plus a `TCMAP01` shard map wiring them to daemon addresses.
+///
+/// Each output segment is a complete, independently servable TC-Tree
+/// (root + the level-1 subtrees the shard owns); `tc router` scatters
+/// queries across them and merges. Addresses come from `--addrs a,b,…`
+/// verbatim, or are synthesised as `HOST:PORT_BASE+i`.
+pub fn shard(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["shards", "out-dir", "host", "port-base", "addrs"]) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail(
+            "usage: tc shard <tree> --shards N [--out-dir DIR] [--addrs a1,a2,…] \
+             [--host HOST] [--port-base PORT]",
+        );
+    };
+    let shard_count = match flags.get_usize("shards", 2) {
+        Ok(n) if (1..=tc_store::shardmap::MAX_SHARDS).contains(&n) => n,
+        Ok(n) => {
+            return fail(format!(
+                "--shards {n} outside 1..={}",
+                tc_store::shardmap::MAX_SHARDS
+            ))
+        }
+        Err(e) => return fail(e),
+    };
+    let out_dir = Path::new(flags.get("out-dir").unwrap_or("shards"));
+    let host = flags.get("host").unwrap_or("127.0.0.1");
+    let port_base = match flags.get_usize("port-base", 7701) {
+        Ok(p) if p + shard_count <= 65536 => p,
+        Ok(p) => {
+            return fail(format!(
+                "--port-base {p} overflows ports for {shard_count} shards"
+            ))
+        }
+        Err(e) => return fail(e),
+    };
+    let addrs: Vec<String> = match flags.get("addrs") {
+        Some(list) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect();
+            if addrs.len() != shard_count {
+                return fail(format!(
+                    "--addrs names {} daemons but --shards is {shard_count}",
+                    addrs.len()
+                ));
+            }
+            addrs
+        }
+        None => (0..shard_count)
+            .map(|i| format!("{host}:{}", port_base + i))
+            .collect(),
+    };
+
+    // Any tree format works as input: the shards are always segments.
+    let tree = match LoadedTree::open(path) {
+        Ok(LoadedTree::Mem(t)) => t,
+        Ok(LoadedTree::Seg(s)) => match s.to_tree() {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        },
+        Err(e) => return fail(e),
+    };
+
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        return fail(format!("{}: {e}", out_dir.display()));
+    }
+    let scheme = tc_store::HashScheme::Crc32Item;
+    let shards = tc_store::split_tree(&tree, scheme, shard_count as u32);
+    let mut entries = Vec::with_capacity(shard_count);
+    for (i, (shard, addr)) in shards.iter().zip(&addrs).enumerate() {
+        let file = out_dir.join(format!("shard-{i:03}.seg"));
+        if let Err(e) = tc_store::save_tree_segment_to_path(shard, &file) {
+            return fail(format!("{}: {e}", file.display()));
+        }
+        println!(
+            "shard {i}: {} ({} nodes, serve at {addr})",
+            file.display(),
+            shard.num_nodes()
+        );
+        entries.push(tc_store::ShardEntry {
+            addr: addr.clone(),
+            path: file.to_string_lossy().into_owned(),
+        });
+    }
+    let map = tc_store::ShardMap {
+        scheme,
+        items: tc_store::level1_items(&tree),
+        shards: entries,
+    };
+    let map_path = out_dir.join("shards.tcmap");
+    if let Err(e) = map.save_to_path(&map_path) {
+        return fail(format!("{}: {e}", map_path.display()));
+    }
+    println!(
+        "shard map: {} ({shard_count} shards, scheme {}, {} level-1 items)",
+        map_path.display(),
+        scheme.name(),
+        map.items.len()
+    );
+    0
+}
+
+/// `tc router`: the scatter-gather HTTP gateway over a `tc shard` layout.
+///
+/// Loads a `TCMAP01` map, pools one HTTP client set per shard daemon,
+/// and serves the same surface as `tc serve`'s gateway (`/qba`, `/qbp`,
+/// `/query`, `POST /query`, `/healthz`, `/metrics`) with answers merged
+/// to be byte-identical to the unsharded segment (modulo `secs`).
+/// SIGHUP re-reads the map; SIGTERM drains and exits.
+pub fn router(args: &[String]) -> i32 {
+    let flags = match Flags::parse_with_switches(
+        args,
+        &["http-addr", "max-inflight", "session-timeout", "rate-limit"],
+        &["partial"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = flags.positional.first() else {
+        return fail(
+            "usage: tc router <shards.tcmap> [--http-addr host:port] [--max-inflight N] \
+             [--session-timeout secs] [--rate-limit per-sec] [--partial]",
+        );
+    };
+    let http_addr = flags.get("http-addr").unwrap_or("127.0.0.1:7642");
+    let max_inflight = match flags.get_usize("max-inflight", 64) {
+        Ok(m) => m.max(1),
+        Err(e) => return fail(e),
+    };
+    let idle_timeout = match flags.get_usize("session-timeout", 30) {
+        Ok(0) => None,
+        Ok(secs) => Some(std::time::Duration::from_secs(secs as u64)),
+        Err(e) => return fail(e),
+    };
+    let rate_limit = match flags.get_usize("rate-limit", 0) {
+        Ok(0) => None,
+        Ok(per_sec) => Some(tc_serve::RateLimit::per_second(per_sec as f64)),
+        Err(e) => return fail(e),
+    };
+    let partial = flags.has("partial");
+
+    let map = match tc_store::ShardMap::load_from_path(Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let (shard_count, universe) = (map.shards.len(), map.items.len());
+
+    tc_serve::install_signal_handlers();
+    let router = match tc_router::Router::bind(
+        map,
+        http_addr,
+        tc_router::RouterConfig {
+            max_inflight,
+            idle_timeout,
+            rate_limit,
+            partial,
+            map_path: Some(std::path::PathBuf::from(path)),
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("{http_addr}: {e}")),
+    };
+    let local = match router.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => return fail(e),
+    };
+    println!(
+        "tc-router listening on {local} ({path}, shards={shard_count}, \
+         universe={universe} items, max-inflight={max_inflight}, \
+         partial={})",
+        if partial { "on" } else { "off" }
+    );
+    // Piped stdout is block-buffered: flush so supervisors (and the smoke
+    // test) can read the resolved address before the first connection.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    match router.run() {
+        Ok(stats) => {
+            println!(
+                "router shutdown complete: {} requests, {} shard RPCs \
+                 ({} transport errors), {} partial responses, {} reloads",
+                stats.requests,
+                stats.fanout,
+                stats.shard_errors,
+                stats.partial_responses,
+                stats.reloads
+            );
+            0
+        }
+        Err(e) => fail(e),
+    }
+}
+
 /// `tc convert <in> <out> [--to auto|text|seg]`
 ///
 /// Converts networks and TC-Trees between the text and segment formats.
@@ -1638,6 +1837,80 @@ mod tests {
         for p in [&net, &tree] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn shard_writes_segments_and_map_and_router_validates_input() {
+        let dir = std::env::temp_dir().join(format!("tc_cli_shard_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("sh.dbnet");
+        let tree = dir.join("sh.tree.seg");
+        let out = dir.join("layout");
+        let s = |p: &std::path::Path| p.to_string_lossy().to_string();
+
+        assert_eq!(
+            generate(&strs(&[
+                "--kind",
+                "planted",
+                "--out",
+                &s(&net),
+                "--seed",
+                "9"
+            ])),
+            0
+        );
+        assert_eq!(
+            index(&strs(&[&s(&net), "--out", &s(&tree), "--format", "seg"])),
+            0
+        );
+
+        // A 3-way split: three segments plus the map, all loadable.
+        assert_eq!(
+            shard(&strs(&[
+                &s(&tree),
+                "--shards",
+                "3",
+                "--out-dir",
+                &s(&out),
+                "--port-base",
+                "7801",
+            ])),
+            0
+        );
+        let map = tc_store::ShardMap::load_from_path(&out.join("shards.tcmap")).unwrap();
+        assert_eq!(map.shards.len(), 3);
+        assert_eq!(map.shards[0].addr, "127.0.0.1:7801");
+        assert_eq!(map.shards[2].addr, "127.0.0.1:7803");
+        // num_nodes() excludes the root, so the shard counts partition
+        // the full tree's exactly.
+        let mut total_nodes = 0;
+        for i in 0..3 {
+            let seg = SegmentTcTree::open(&out.join(format!("shard-{i:03}.seg"))).unwrap();
+            total_nodes += seg.to_tree().unwrap().num_nodes();
+        }
+        let full = SegmentTcTree::open(&tree).unwrap().to_tree().unwrap();
+        assert_eq!(total_nodes, full.num_nodes());
+
+        // Bad inputs are refused up front.
+        assert_eq!(shard(&strs(&[&s(&tree), "--shards", "0"])), 2);
+        assert_eq!(
+            shard(&strs(&[&s(&tree), "--shards", "3", "--addrs", "a:1,b:2"])),
+            2,
+            "--addrs arity must match --shards"
+        );
+        assert_eq!(
+            shard(&strs(&[&s(&net), "--shards", "2"])),
+            2,
+            "networks are not trees"
+        );
+        assert_eq!(
+            router(&strs(&[&s(&tree)])),
+            2,
+            "a segment is not a shard map"
+        );
+        assert_eq!(router(&strs(&["/nonexistent.tcmap"])), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

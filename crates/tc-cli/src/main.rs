@@ -9,6 +9,8 @@
 //! tc query   --remote host:port [--alpha F] [--pattern i1,i2,…] [--network net] [--json]
 //! tc serve   <tree.seg> [--addr host:port] [--http-addr host:port] [--workers N]
 //!            [--max-inflight N] [--rate-limit per-sec]
+//! tc shard   <tree> --shards N [--out-dir DIR] [--addrs a1,a2,…] [--host H] [--port-base P]
+//! tc router  <shards.tcmap> [--http-addr host:port] [--max-inflight N] [--partial]
 //! tc ingest  <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
 //! tc checkpoint <net.wal> --out <net.seg> [--base base.seg]
 //! tc convert <in> <out> [--to auto|text|seg]
@@ -32,6 +34,8 @@ fn main() {
         Some("index") => commands::index(&args[1..]),
         Some("query") => commands::query(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("shard") => commands::shard(&args[1..]),
+        Some("router") => commands::router(&args[1..]),
         Some("ingest") => commands::ingest(&args[1..]),
         Some("checkpoint") => commands::checkpoint(&args[1..]),
         Some("convert") => commands::convert(&args[1..]),
@@ -61,6 +65,9 @@ USAGE:
   tc query    --remote <host:port> [--alpha F] [--pattern items] [--network net] [--json]
   tc serve    <tree.seg> [--addr host:port] [--http-addr host:port] [--workers N] [--max-inflight N]
               [--session-timeout secs] [--rate-limit per-sec]
+  tc shard    <tree> --shards N [--out-dir DIR] [--addrs a1,a2,…] [--host HOST] [--port-base PORT]
+  tc router   <shards.tcmap> [--http-addr host:port] [--max-inflight N] [--session-timeout secs]
+              [--rate-limit per-sec] [--partial]
   tc ingest   <net.wal> --ops <file|-> [--base base.seg] [--durability always|batch]
   tc checkpoint <net.wal> --out <net.seg> [--base base.seg]
   tc convert  <in> <out> [--to auto|text|seg]
@@ -78,7 +85,13 @@ client IP at N requests/second on top of the inflight bound. SIGHUP
 re-opens the segment and hot-swaps it without dropping sessions; stop
 the daemon with SIGTERM or a client's SHUTDOWN verb. tc query --json
 prints the serving wire object, byte-comparable with curl of /qba or
-/qbp. tc ingest appends to a crash-safe write-ahead
+/qbp. tc shard hash-partitions a tree into self-contained per-shard
+segments plus a shards.tcmap map; tc router loads the map and serves
+the same HTTP surface by scattering to every shard daemon and merging,
+answers byte-identical to the unsharded tree (--partial keeps serving
+the live shards' union when a daemon is down, naming the missing
+shards in an X-TC-Partial-Shards header; without it a down shard is a
+503). tc ingest appends to a crash-safe write-ahead
 log (ops lines: item NAME / db V / edge U V / tx V a,b,c); tc
 checkpoint folds log + base segment into a fresh segment and resets
 the log.
@@ -90,6 +103,8 @@ EXAMPLES:
   tc query aminer.seg --alpha 0.2
   tc query aminer.seg --pattern 'data mining,sequential pattern' --network aminer.dbnet
   tc serve aminer.seg --addr 127.0.0.1:7641 --http-addr 127.0.0.1:8080 --rate-limit 50
+  tc shard aminer.seg --shards 4 --out-dir shards
+  tc router shards/shards.tcmap --http-addr 127.0.0.1:7642 --partial
   tc query --remote 127.0.0.1:7641 --alpha 0.2 --retries 5
   curl 'http://127.0.0.1:8080/qba?alpha=0.2'
   tc ingest net.wal --ops mutations.txt --base net.seg

@@ -1,0 +1,490 @@
+//! `tc-router` — the scatter-gather HTTP gateway over sharded TC-Tree
+//! segments.
+//!
+//! `tc shard` splits a TC-Tree **by root-child subtree** into N
+//! self-contained segments (see [`tc_store::shardmap`]) and records the
+//! layout in a `TCMAP01` shard map. This crate is the serving half: a
+//! router process loads the map, keeps a pool of line-protocol
+//! [`ServeClient`](tc_serve::ServeClient)s per shard daemon, and serves the same HTTP/JSON
+//! surface as a single `tc serve` daemon (`GET /qba /qbp /query`,
+//! `POST /query` batches, `/healthz`, `/metrics`) by **scattering**
+//! every query to all shards and **gathering** the answers with a
+//! deterministic merge.
+//!
+//! The merge is exact, not approximate. Three facts carry it:
+//!
+//! 1. Subtree partitioning makes per-shard answers *disjoint*: every
+//!    non-root node lives in exactly one shard, with its full subtree.
+//! 2. The router rewrites `QBA(α)` into `QUERY(universe, α)`, where the
+//!    universe is the full tree's level-1 item set stored in the map. A
+//!    shard's own QBA would build the universe from its local root
+//!    children and wrongly prune deeper patterns that mention items
+//!    whose level-1 node lives elsewhere; with the rewrite, every
+//!    per-shard pruning decision equals the unsharded walk's.
+//! 3. The unsharded walk emits trusses in BFS order, and within a BFS
+//!    level arena order equals pattern lexicographic order — so sorting
+//!    the concatenated shard answers by `(pattern length, pattern)`
+//!    reproduces the unsharded ordering, and summing `retrieved` /
+//!    `visited` reproduces its counters.
+//!
+//! A healthy router therefore answers **byte-identically** to a single
+//! daemon serving the unsharded segment, except for the `secs` timing
+//! field. When a shard is down, the router either refuses with 503
+//! (default) or, with [`RouterConfig::partial`], serves what the live
+//! shards returned and names the missing shards in the
+//! `X-TC-Partial-Shards` response header. `docs/SHARDING.md` specifies
+//! the format and contract; `docs/OPERATIONS.md` has the runbook.
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use tc_core::DatabaseNetworkBuilder;
+//! use tc_index::TcTreeBuilder;
+//! use tc_router::{Router, RouterConfig};
+//! use tc_serve::{HttpClient, ServeConfig, Server};
+//! use tc_store::shardmap::{level1_items, split_tree, HashScheme, ShardEntry, ShardMap};
+//! use tc_store::SegmentTcTree;
+//!
+//! // A tiny tree, split two ways, each shard served by its own daemon.
+//! let mut b = DatabaseNetworkBuilder::new();
+//! let x = b.intern_item("x");
+//! let y = b.intern_item("y");
+//! for v in 0..3u32 {
+//!     for _ in 0..4 {
+//!         b.add_transaction(v, &[x, y]);
+//!     }
+//! }
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! let tree = TcTreeBuilder::default().build(&b.build().unwrap());
+//!
+//! let mut daemons = Vec::new();
+//! let mut entries = Vec::new();
+//! for shard in split_tree(&tree, HashScheme::Crc32Item, 2) {
+//!     let mut bytes = Vec::new();
+//!     tc_store::save_tree_segment(&shard, &mut bytes).unwrap();
+//!     let seg = SegmentTcTree::from_bytes(bytes).unwrap();
+//!     let server = Server::bind(seg, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//!     entries.push(ShardEntry {
+//!         addr: server.local_addr().unwrap().to_string(),
+//!         path: String::new(),
+//!     });
+//!     daemons.push(server);
+//! }
+//! let map = ShardMap {
+//!     scheme: HashScheme::Crc32Item,
+//!     items: level1_items(&tree),
+//!     shards: entries,
+//! };
+//!
+//! let router = Router::bind(map, "127.0.0.1:0", RouterConfig::default()).unwrap();
+//! let addr = router.local_addr().unwrap().to_string();
+//! let handle = router.handle();
+//! let gateway = std::thread::spawn(move || router.run().unwrap());
+//! let handles: Vec<_> = daemons
+//!     .into_iter()
+//!     .map(|d| {
+//!         let h = d.handle();
+//!         std::thread::spawn(move || d.run().unwrap());
+//!         h
+//!     })
+//!     .collect();
+//!
+//! let mut client = HttpClient::connect(&addr).unwrap();
+//! let resp = client.get("/qba?alpha=0.0").unwrap();
+//! assert!(resp.is_ok());
+//! let local = tree.query_by_alpha(0.0);
+//! assert!(resp.body.contains(&format!("\"retrieved\":{}", local.retrieved_nodes)));
+//!
+//! handle.shutdown();
+//! gateway.join().unwrap();
+//! for h in handles {
+//!     h.shutdown();
+//! }
+//! ```
+
+mod metrics;
+mod pool;
+mod session;
+
+use metrics::RouterMetrics;
+use pool::ShardPool;
+use std::io::ErrorKind;
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tc_serve::{ClientError, QueryResponse, QuerySpec, RateLimit, RateLimiter};
+use tc_store::ShardMap;
+use tc_util::LoadError;
+
+/// Accept-loop poll interval while the listener is idle.
+const ACCEPT_TICK: Duration = Duration::from_millis(20);
+/// How long shutdown waits for admitted sessions to drain.
+const DRAIN_LIMIT: Duration = Duration::from_secs(5);
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Most concurrently admitted HTTP sessions; excess connections are
+    /// refused with an immediate 503, never queued.
+    pub max_inflight: usize,
+    /// Close a session idling longer than this (None: never).
+    pub idle_timeout: Option<Duration>,
+    /// Per-client-IP token bucket (None: unlimited).
+    pub rate_limit: Option<RateLimit>,
+    /// With a shard down: `false` answers 503, `true` serves the live
+    /// shards' union and names the missing shards in
+    /// `X-TC-Partial-Shards`.
+    pub partial: bool,
+    /// Where to re-read the shard map on SIGHUP / [`RouterHandle::reload`]
+    /// (None: reload is refused).
+    pub map_path: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            max_inflight: 64,
+            idle_timeout: Some(Duration::from_secs(30)),
+            rate_limit: None,
+            partial: false,
+            map_path: None,
+        }
+    }
+}
+
+/// One loaded shard layout: the parsed map plus a connection pool per
+/// shard. Swapped wholesale on reload; in-flight requests keep the
+/// snapshot they started with.
+pub(crate) struct Shards {
+    pub map: ShardMap,
+    pub pools: Vec<ShardPool>,
+}
+
+impl Shards {
+    fn new(map: ShardMap) -> Shards {
+        let pools = map
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(id, s)| ShardPool::new(id as u32, s.addr.clone()))
+            .collect();
+        Shards { map, pools }
+    }
+}
+
+/// Shared router state.
+pub(crate) struct Inner {
+    pub cfg: RouterConfig,
+    shards: Mutex<Arc<Shards>>,
+    pub metrics: RouterMetrics,
+    pub inflight: AtomicUsize,
+    pub shutdown: AtomicBool,
+    limiter: Option<RateLimiter>,
+}
+
+impl Inner {
+    /// The current shard layout; requests hold one snapshot end-to-end.
+    pub fn snapshot(&self) -> Arc<Shards> {
+        self.shards.lock().expect("shards lock").clone()
+    }
+
+    /// Admits under the per-client rate limit, counting refusals.
+    pub fn within_rate(&self, ip: IpAddr) -> bool {
+        match &self.limiter {
+            Some(limiter) => {
+                let ok = limiter.allow(ip);
+                if !ok {
+                    self.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            None => true,
+        }
+    }
+}
+
+/// The outcome of one scatter-gather round.
+pub(crate) enum Gathered {
+    /// Every shard answered; the merge equals the unsharded answer.
+    Complete(QueryResponse),
+    /// Some shards were down and `--partial` is on: the live shards'
+    /// union, plus the down shard ids.
+    Partial(QueryResponse, Vec<u32>),
+    /// Some shards were down and `--partial` is off: the down shard ids
+    /// and the first transport error.
+    Unavailable(Vec<u32>, String),
+    /// A shard answered with a query-level error (the request's fault).
+    Failed(String),
+}
+
+/// Scatters `spec` to every shard in `shards` concurrently and gathers
+/// the merged outcome. `QBA(α)` is rewritten to `QUERY(universe, α)` —
+/// see the crate docs for why that keeps per-shard pruning exact.
+pub(crate) fn scatter_query(inner: &Inner, shards: &Shards, spec: &QuerySpec) -> Gathered {
+    let results: Vec<Result<QueryResponse, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .pools
+            .iter()
+            .map(|p| {
+                scope.spawn(move || {
+                    p.run(|client| match spec {
+                        QuerySpec::Qba(alpha) => client.query(&shards.map.items, *alpha),
+                        QuerySpec::Qbp(items) => client.qbp(items),
+                        QuerySpec::Query(items, alpha) => client.query(items, *alpha),
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scatter worker panicked"))
+            .collect()
+    });
+    let mut answered = Vec::new();
+    let mut down = Vec::new();
+    let mut first_err = String::new();
+    for (id, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(resp) => answered.push(resp),
+            // A query-level error means the shard is healthy but the
+            // request is bad; every shard ran the same request, so
+            // surface it as the request's failure.
+            Err(ClientError::Remote(msg)) => return Gathered::Failed(msg),
+            Err(e) => {
+                if down.is_empty() {
+                    first_err = e.to_string();
+                }
+                down.push(id as u32);
+            }
+        }
+    }
+    inner
+        .metrics
+        .shards_down
+        .store(down.len() as u64, Ordering::Relaxed);
+    if down.is_empty() {
+        Gathered::Complete(merge_responses(answered))
+    } else if inner.cfg.partial {
+        inner
+            .metrics
+            .partial_responses
+            .fetch_add(1, Ordering::Relaxed);
+        Gathered::Partial(merge_responses(answered), down)
+    } else {
+        Gathered::Unavailable(down, first_err)
+    }
+}
+
+/// Merges disjoint per-shard answers into one response: counters sum,
+/// and trusses sort by `(pattern length, pattern)` — the unsharded
+/// tree's own BFS emission order, so a full merge is element-identical
+/// to the unsharded answer. `elapsed_secs` is the router-side maximum
+/// (the scatter's critical path), not a sum.
+pub fn merge_responses(parts: Vec<QueryResponse>) -> QueryResponse {
+    let mut merged = QueryResponse {
+        retrieved: 0,
+        visited: 0,
+        elapsed_secs: 0.0,
+        trusses: Vec::new(),
+    };
+    for part in parts {
+        merged.retrieved += part.retrieved;
+        merged.visited += part.visited;
+        merged.elapsed_secs = merged.elapsed_secs.max(part.elapsed_secs);
+        merged.trusses.extend(part.trusses);
+    }
+    merged
+        .trusses
+        .sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+    merged
+}
+
+/// Counter totals reported when a router exits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterStats {
+    /// Scatter-gather requests served (qba + qbp + query + batch).
+    pub requests: u64,
+    /// Shard RPCs attempted across all shards.
+    pub fanout: u64,
+    /// Shard RPCs that failed at the transport layer.
+    pub shard_errors: u64,
+    /// Responses served with shards missing (`--partial`).
+    pub partial_responses: u64,
+    /// Successful shard-map reloads.
+    pub reloads: u64,
+}
+
+/// A bound scatter-gather gateway; [`Router::run`] starts serving.
+pub struct Router {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// A cloneable driver for a running router: shutdown, reload, stats.
+#[derive(Clone)]
+pub struct RouterHandle {
+    inner: Arc<Inner>,
+}
+
+impl Router {
+    /// Binds `http_addr` (port `0` picks an ephemeral port — read it
+    /// back with [`Router::local_addr`]) over the given shard layout.
+    /// Shard connections open lazily on first use, so daemons may boot
+    /// after the router.
+    pub fn bind(map: ShardMap, http_addr: &str, cfg: RouterConfig) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(http_addr)?;
+        listener.set_nonblocking(true)?;
+        let limiter = cfg.rate_limit.map(RateLimiter::new);
+        let inner = Arc::new(Inner {
+            cfg,
+            shards: Mutex::new(Arc::new(Shards::new(map))),
+            metrics: RouterMetrics::default(),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            limiter,
+        });
+        Ok(Router { listener, inner })
+    }
+
+    /// The bound HTTP address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A driver handle, usable from any thread while `run` serves.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Serves until shutdown (handle, SIGTERM/SIGINT via
+    /// [`tc_serve::install_signal_handlers`]), then drains admitted
+    /// sessions and returns the counter totals.
+    pub fn run(self) -> std::io::Result<RouterStats> {
+        while !self.inner.shutdown.load(Ordering::SeqCst) && !tc_serve::shutdown_signal_pending() {
+            if tc_serve::take_reload_signal() {
+                // Keep serving the old map on failure; the metrics and
+                // exit stats record the refused swap.
+                let _ = self.handle().reload();
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => admit(&self.inner, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Sessions poll the flag every READ_TICK; give them a bounded
+        // window to finish the response they are writing.
+        let deadline = std::time::Instant::now() + DRAIN_LIMIT;
+        while self.inner.inflight.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(ACCEPT_TICK);
+        }
+        Ok(self.handle().stats())
+    }
+}
+
+/// Admission control: spawn a session thread within the inflight budget,
+/// refuse with an immediate 503 beyond it.
+fn admit(inner: &Arc<Inner>, stream: TcpStream) {
+    let admitted = inner
+        .inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < inner.cfg.max_inflight).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        let mut stream = stream;
+        let _ = session::write_busy_503(
+            inner,
+            &mut stream,
+            &format!("router at max inflight ({})", inner.cfg.max_inflight),
+        );
+        return;
+    }
+    let session_inner = Arc::clone(inner);
+    let spawned = std::thread::Builder::new()
+        .name("tc-router-session".into())
+        .spawn(move || {
+            let inner = session_inner;
+            struct Deflight<'a>(&'a Inner);
+            impl Drop for Deflight<'_> {
+                fn drop(&mut self) {
+                    self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let _guard = Deflight(&inner);
+            let _ = session::serve_session(&inner, stream);
+        });
+    if spawned.is_err() {
+        // Could not spawn: release the slot we reserved.
+        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl RouterHandle {
+    /// Asks the accept loop to stop; `run` then drains and returns.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Re-reads the shard map from [`RouterConfig::map_path`] and swaps
+    /// it in atomically. Validation happens before the swap: a corrupt
+    /// or unreadable map leaves the old layout serving and counts a
+    /// failed reload. Returns `(shard_count, universe_len)` on success.
+    pub fn reload(&self) -> Result<(usize, usize), LoadError> {
+        let Some(path) = self.inner.cfg.map_path.clone() else {
+            self.inner
+                .metrics
+                .reload_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(LoadError::Corrupt(
+                "router: no shard-map path configured for reload".into(),
+            ));
+        };
+        match ShardMap::load_from_path(&path) {
+            Ok(map) => {
+                let counts = (map.shards.len(), map.items.len());
+                *self.inner.shards.lock().expect("shards lock") = Arc::new(Shards::new(map));
+                self.inner.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+                Ok(counts)
+            }
+            Err(e) => {
+                self.inner
+                    .metrics
+                    .reload_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// The Prometheus exposition, as served by `GET /metrics`.
+    pub fn prometheus(&self) -> String {
+        let shards = self.inner.snapshot();
+        self.inner
+            .metrics
+            .render_prometheus(self.inner.inflight.load(Ordering::SeqCst) as u64, &shards)
+    }
+
+    /// Counter totals so far.
+    pub fn stats(&self) -> RouterStats {
+        let m = &self.inner.metrics;
+        let shards = self.inner.snapshot();
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        RouterStats {
+            requests: load(&m.qba) + load(&m.qbp) + load(&m.query) + load(&m.batch),
+            fanout: shards.pools.iter().map(|p| load(&p.fanout)).sum(),
+            shard_errors: shards.pools.iter().map(|p| load(&p.errors)).sum(),
+            partial_responses: load(&m.partial_responses),
+            reloads: load(&m.reloads),
+        }
+    }
+}

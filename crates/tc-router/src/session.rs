@@ -1,0 +1,543 @@
+//! One admitted HTTP session: parse, rate-limit, route, scatter-gather.
+//!
+//! The loop is a lean sibling of tc-serve's gateway session — same frame
+//! caps, same ticked reads against shutdown and the idle clock, same
+//! route table — but every query handler fans out to the shard daemons
+//! instead of walking a local segment, and responses may carry the
+//! `X-TC-Partial-Shards` header when `--partial` served around a down
+//! shard.
+
+use crate::{Gathered, Inner};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use tc_serve::http::{parse_batch_specs, parse_items_qs, reason_phrase, require_param};
+use tc_serve::protocol::{encode_error, parse_alpha};
+use tc_serve::server::READ_TICK;
+use tc_serve::QuerySpec;
+
+/// Longest accepted request or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted `POST /query` body, in bytes.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// JSON content type for API responses.
+const CT_JSON: &str = "application/json";
+/// The Prometheus text exposition content type.
+const CT_METRICS: &str = "text/plain; version=0.0.4";
+
+/// The header naming shards a `--partial` response is missing.
+pub(crate) const PARTIAL_HEADER: &str = "X-TC-Partial-Shards";
+
+/// One routed response: status, body, and (for partial answers) the
+/// down-shard ids to surface in [`PARTIAL_HEADER`].
+pub(crate) struct Reply {
+    code: u16,
+    content_type: &'static str,
+    body: String,
+    partial: Option<String>,
+}
+
+impl Reply {
+    fn new(code: u16, content_type: &'static str, body: String) -> Reply {
+        Reply {
+            code,
+            content_type,
+            body,
+            partial: None,
+        }
+    }
+}
+
+fn json_err(msg: &str) -> String {
+    encode_error(msg, true)
+}
+
+/// Writes one complete response and counts it.
+fn respond(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    reply: &Reply,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        reply.code,
+        reason_phrase(reply.code),
+        reply.content_type,
+        reply.body.len()
+    );
+    if reply.code == 429 || reply.code == 503 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    if let Some(shards) = &reply.partial {
+        head.push_str(&format!("{PARTIAL_HEADER}: {shards}\r\n"));
+    }
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    inner.metrics.count_http_response(reply.code);
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(reply.body.as_bytes())
+}
+
+/// The admission-control rejection, written straight from the accept
+/// loop (the session was never spawned).
+pub(crate) fn write_busy_503(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    reason: &str,
+) -> std::io::Result<()> {
+    let reply = Reply::new(503, CT_JSON, json_err(reason));
+    respond(inner, stream, &reply, true)
+}
+
+/// A socket reader that ticks: blocked reads wake every [`READ_TICK`] to
+/// re-check the shutdown flag and the idle clock.
+struct TickReader<'a> {
+    reader: BufReader<TcpStream>,
+    inner: &'a Inner,
+    idle: Duration,
+}
+
+/// Why a ticked read stopped short of data.
+enum ReadStop {
+    Eof,
+    Shutdown,
+    IdleTimeout,
+    TooLong,
+}
+
+impl TickReader<'_> {
+    /// Reads one `\n`-terminated line (CRLF tolerated), stripped, with
+    /// the total buffered bytes bounded by `MAX_LINE + 2`.
+    fn read_line(&mut self, line: &mut String) -> std::io::Result<Result<(), ReadStop>> {
+        line.clear();
+        let mut buf = Vec::new();
+        loop {
+            let budget = (MAX_LINE + 2).saturating_sub(buf.len()) as u64;
+            if budget == 0 {
+                return Ok(Err(ReadStop::TooLong));
+            }
+            match (&mut self.reader).take(budget).read_until(b'\n', &mut buf) {
+                Ok(0) => {
+                    return Ok(Err(if buf.is_empty() {
+                        ReadStop::Eof
+                    } else {
+                        ReadStop::Shutdown // mid-line EOF: nothing to answer
+                    }));
+                }
+                Ok(_) => {
+                    if buf.last() != Some(&b'\n') {
+                        continue; // budget spent mid-line → TooLong above
+                    }
+                    self.idle = Duration::ZERO;
+                    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+                        buf.pop();
+                    }
+                    if buf.len() > MAX_LINE {
+                        return Ok(Err(ReadStop::TooLong));
+                    }
+                    let text = std::str::from_utf8(&buf)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+                    line.push_str(text);
+                    return Ok(Ok(()));
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if let Some(stop) = self.tick()? {
+                        return Ok(Err(stop));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads exactly `buf.len()` body bytes.
+    fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<Result<(), ReadStop>> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) => return Ok(Err(ReadStop::Eof)),
+                Ok(n) => {
+                    filled += n;
+                    self.idle = Duration::ZERO;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if let Some(stop) = self.tick()? {
+                        return Ok(Err(stop));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    fn tick(&mut self) -> std::io::Result<Option<ReadStop>> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(Some(ReadStop::Shutdown));
+        }
+        self.idle += READ_TICK;
+        if let Some(limit) = self.inner.cfg.idle_timeout {
+            if self.idle >= limit {
+                return Ok(Some(ReadStop::IdleTimeout));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Serves one admitted HTTP connection (keep-alive) until the client
+/// closes, an error closes it, or shutdown drains it.
+pub(crate) fn serve_session(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = TickReader {
+        reader: BufReader::new(stream.try_clone()?),
+        inner,
+        idle: Duration::ZERO,
+    };
+    let mut stream = stream;
+    let client_ip = stream.peer_addr().ok().map(|a| a.ip());
+
+    let bad_request = |inner: &Inner, stream: &mut TcpStream, msg: &str| {
+        inner
+            .metrics
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        respond(
+            inner,
+            stream,
+            &Reply::new(400, CT_JSON, json_err(msg)),
+            true,
+        )
+    };
+
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line)? {
+            Ok(()) => {}
+            Err(ReadStop::Eof | ReadStop::Shutdown) => return Ok(()),
+            Err(ReadStop::IdleTimeout) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "session idle timeout",
+                ));
+            }
+            Err(ReadStop::TooLong) => {
+                bad_request(inner, &mut stream, "request line too long")?;
+                return Ok(());
+            }
+        }
+        if line.is_empty() {
+            continue; // tolerate a stray blank line between requests
+        }
+
+        // ---- request line -------------------------------------------------
+        let parts: Vec<&str> = line.split(' ').filter(|t| !t.is_empty()).collect();
+        let [method, target, version] = parts.as_slice() else {
+            bad_request(inner, &mut stream, "malformed request line")?;
+            return Ok(());
+        };
+        if !version.starts_with("HTTP/1.") {
+            bad_request(inner, &mut stream, "only HTTP/1.0 and HTTP/1.1 are spoken")?;
+            return Ok(());
+        }
+        let (method, target, version) = (method.to_string(), target.to_string(), *version);
+        let http10 = version == "HTTP/1.0";
+
+        // ---- headers ------------------------------------------------------
+        let mut content_length: usize = 0;
+        let mut connection = String::new();
+        let mut header_count = 0usize;
+        let mut header = String::new();
+        loop {
+            match reader.read_line(&mut header)? {
+                Ok(()) => {}
+                Err(ReadStop::TooLong) => {
+                    bad_request(inner, &mut stream, "header line too long")?;
+                    return Ok(());
+                }
+                Err(ReadStop::IdleTimeout) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "session idle timeout",
+                    ));
+                }
+                Err(_) => return Ok(()), // EOF/shutdown mid-headers
+            }
+            if header.is_empty() {
+                break;
+            }
+            header_count += 1;
+            if header_count > MAX_HEADERS {
+                bad_request(inner, &mut stream, "too many headers")?;
+                return Ok(());
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                bad_request(inner, &mut stream, "malformed header line")?;
+                return Ok(());
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    let Ok(n) = value.parse::<usize>() else {
+                        bad_request(inner, &mut stream, "bad Content-Length")?;
+                        return Ok(());
+                    };
+                    content_length = n;
+                }
+                "connection" => connection = value.to_ascii_lowercase(),
+                "transfer-encoding" => {
+                    bad_request(inner, &mut stream, "Transfer-Encoding is not supported")?;
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+
+        // ---- body ---------------------------------------------------------
+        if content_length > MAX_BODY {
+            inner
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let reply = Reply::new(
+                413,
+                CT_JSON,
+                json_err(&format!("body exceeds {MAX_BODY} bytes")),
+            );
+            respond(inner, &mut stream, &reply, true)?;
+            return Ok(());
+        }
+        let mut body_bytes = vec![0u8; content_length];
+        if content_length > 0 {
+            match reader.read_exact(&mut body_bytes)? {
+                Ok(()) => {}
+                Err(ReadStop::IdleTimeout) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "session idle timeout",
+                    ));
+                }
+                Err(_) => return Ok(()), // EOF/shutdown mid-body
+            }
+        }
+
+        let close_after = connection == "close" || (http10 && connection != "keep-alive");
+
+        // ---- rate limit ---------------------------------------------------
+        // Introspection endpoints stay exempt, as on the shard daemons.
+        let introspection = {
+            let path = target.split('?').next().unwrap_or("");
+            path == "/healthz" || path == "/metrics"
+        };
+        if !introspection {
+            if let Some(ip) = client_ip {
+                if !inner.within_rate(ip) {
+                    let reply =
+                        Reply::new(429, CT_JSON, json_err("per-client rate limit exceeded"));
+                    respond(inner, &mut stream, &reply, close_after)?;
+                    if close_after {
+                        return Ok(());
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // ---- route --------------------------------------------------------
+        let reply = route(inner, &method, &target, &body_bytes);
+        let close = close_after || reply.code == 400;
+        respond(inner, &mut stream, &reply, close)?;
+        if close || inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one parsed request to its handler.
+fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if target.contains('%') {
+        return param_error(inner, "percent-encoding is not used by this API");
+    }
+    match (method, path) {
+        ("GET", "/healthz") => {
+            inner.metrics.healthz.fetch_add(1, Ordering::Relaxed);
+            let shards = inner.snapshot();
+            Reply::new(
+                200,
+                CT_JSON,
+                format!(
+                    "{{\"status\":\"ok\",\"shards\":{},\"items\":{},\"partial\":{},\"shards_down\":{}}}\n",
+                    shards.pools.len(),
+                    shards.map.items.len(),
+                    inner.cfg.partial,
+                    inner.metrics.shards_down.load(Ordering::Relaxed)
+                ),
+            )
+        }
+        ("GET", "/metrics") => {
+            let shards = inner.snapshot();
+            let text = inner
+                .metrics
+                .render_prometheus(inner.inflight.load(Ordering::SeqCst) as u64, &shards);
+            Reply::new(200, CT_METRICS, text)
+        }
+        ("GET", "/qba") => match require_param(query_string, "alpha").and_then(parse_alpha) {
+            Ok(alpha) => run_query(inner, QuerySpec::Qba(alpha)),
+            Err(msg) => param_error(inner, &msg),
+        },
+        ("GET", "/qbp") => match require_param(query_string, "items").and_then(parse_items_qs) {
+            Ok(items) => run_query(inner, QuerySpec::Qbp(items)),
+            Err(msg) => param_error(inner, &msg),
+        },
+        ("GET", "/query") => {
+            let parsed = require_param(query_string, "items")
+                .and_then(parse_items_qs)
+                .and_then(|items| {
+                    require_param(query_string, "alpha")
+                        .and_then(parse_alpha)
+                        .map(|alpha| (items, alpha))
+                });
+            match parsed {
+                Ok((items, alpha)) => run_query(inner, QuerySpec::Query(items, alpha)),
+                Err(msg) => param_error(inner, &msg),
+            }
+        }
+        ("POST", "/query") => handle_batch(inner, body),
+        (_, "/healthz" | "/metrics" | "/qba" | "/qbp" | "/query") => Reply::new(
+            405,
+            CT_JSON,
+            json_err(&format!("{method} not allowed here")),
+        ),
+        _ => Reply::new(404, CT_JSON, json_err(&format!("no such endpoint {path}"))),
+    }
+}
+
+fn param_error(inner: &Inner, msg: &str) -> Reply {
+    inner
+        .metrics
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
+    Reply::new(400, CT_JSON, json_err(msg))
+}
+
+/// Counts the verb and returns its end-to-end latency histogram.
+fn count_verb<'a>(inner: &'a Inner, spec: &QuerySpec) -> &'a tc_serve::Histogram {
+    let m = &inner.metrics;
+    match spec {
+        QuerySpec::Qba(_) => {
+            m.qba.fetch_add(1, Ordering::Relaxed);
+            &m.qba_latency
+        }
+        QuerySpec::Qbp(_) => {
+            m.qbp.fetch_add(1, Ordering::Relaxed);
+            &m.qbp_latency
+        }
+        QuerySpec::Query(..) => {
+            m.query.fetch_add(1, Ordering::Relaxed);
+            &m.query_latency
+        }
+    }
+}
+
+/// Scatters one query to every shard and renders the gathered answer.
+fn run_query(inner: &Inner, spec: QuerySpec) -> Reply {
+    let shards = inner.snapshot();
+    let hist = count_verb(inner, &spec);
+    let started = Instant::now();
+    let gathered = crate::scatter_query(inner, &shards, &spec);
+    hist.observe(started.elapsed().as_secs_f64());
+    match gathered {
+        Gathered::Complete(resp) => Reply::new(200, CT_JSON, resp.encode_json()),
+        Gathered::Partial(resp, down) => Reply {
+            code: 200,
+            content_type: CT_JSON,
+            body: resp.encode_json(),
+            partial: Some(down_list(&down)),
+        },
+        Gathered::Unavailable(down, err) => Reply::new(
+            503,
+            CT_JSON,
+            json_err(&format!("shard(s) {} unavailable: {err}", down_list(&down))),
+        ),
+        Gathered::Failed(msg) => Reply::new(500, CT_JSON, json_err(&msg)),
+    }
+}
+
+fn down_list(down: &[u32]) -> String {
+    down.iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `POST /query`: parse the whole batch up front (atomic rejection),
+/// then scatter each spec in order. One down shard fails only its own
+/// entries inline unless `--partial` is on, in which case the batch
+/// answers 200 with the union of every down shard in [`PARTIAL_HEADER`].
+fn handle_batch(inner: &Inner, body: &[u8]) -> Reply {
+    let started = Instant::now();
+    let Ok(text) = std::str::from_utf8(body) else {
+        return param_error(inner, "body is not UTF-8");
+    };
+    let specs = match parse_batch_specs(text) {
+        Ok(specs) => specs,
+        Err(msg) => return param_error(inner, &msg),
+    };
+    inner.metrics.batch.fetch_add(1, Ordering::Relaxed);
+    // One shard snapshot for the whole batch: a SIGHUP reload landing
+    // mid-batch never mixes shard layouts inside one response.
+    let shards = inner.snapshot();
+    let mut results = String::new();
+    let mut all_down: Vec<u32> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        match crate::scatter_query(inner, &shards, spec) {
+            Gathered::Complete(resp) => results.push_str(&resp.json_object()),
+            Gathered::Partial(resp, down) => {
+                for d in down {
+                    if !all_down.contains(&d) {
+                        all_down.push(d);
+                    }
+                }
+                results.push_str(&resp.json_object());
+            }
+            Gathered::Unavailable(down, err) => {
+                let msg = format!("shard(s) {} unavailable: {err}", down_list(&down));
+                results.push_str(json_err(&msg).trim_end());
+            }
+            Gathered::Failed(msg) => results.push_str(json_err(&msg).trim_end()),
+        }
+    }
+    inner
+        .metrics
+        .batch_latency
+        .observe(started.elapsed().as_secs_f64());
+    all_down.sort_unstable();
+    Reply {
+        code: 200,
+        content_type: CT_JSON,
+        body: format!(
+            "{{\"status\":\"ok\",\"count\":{},\"results\":[{results}]}}\n",
+            specs.len()
+        ),
+        partial: (!all_down.is_empty()).then(|| down_list(&all_down)),
+    }
+}

@@ -1,0 +1,303 @@
+//! End-to-end router tests over real sockets: N shard daemons + the
+//! gateway, answers compared against the unsharded segment, degraded
+//! mode with a killed daemon (503 vs `--partial`), and shard-map
+//! hot-reload through the handle.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use tc_core::DatabaseNetworkBuilder;
+use tc_index::{TcTree, TcTreeBuilder};
+use tc_router::{Router, RouterConfig};
+use tc_serve::{QueryResponse, ServeConfig, Server, ServerHandle};
+use tc_store::shardmap::{level1_items, split_tree, HashScheme, ShardEntry, ShardMap};
+use tc_store::SegmentTcTree;
+
+/// A fixture with several level-1 items, so a 3-way split actually
+/// spreads subtrees across shards.
+fn sample_tree() -> TcTree {
+    let mut b = DatabaseNetworkBuilder::new();
+    let x = b.intern_item("x");
+    let y = b.intern_item("y");
+    let z = b.intern_item("z");
+    let w = b.intern_item("w");
+    for v in 0..5u32 {
+        for _ in 0..3 {
+            b.add_transaction(v, &[x, y]);
+        }
+        b.add_transaction(v, &[x, z]);
+        b.add_transaction(v, &[y, w]);
+    }
+    for (u, v) in [
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (0, 3),
+        (1, 3),
+        (2, 3),
+        (3, 4),
+        (2, 4),
+    ] {
+        b.add_edge(u, v);
+    }
+    TcTreeBuilder::default().build(&b.build().unwrap())
+}
+
+fn segment(tree: &TcTree) -> SegmentTcTree {
+    let mut buf = Vec::new();
+    tc_store::save_tree_segment(tree, &mut buf).unwrap();
+    SegmentTcTree::from_bytes(buf).unwrap()
+}
+
+struct Daemon {
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// Boots one daemon per shard and returns (map, daemons).
+fn boot_shards(tree: &TcTree, shard_count: u32) -> (ShardMap, Vec<Daemon>) {
+    let mut entries = Vec::new();
+    let mut daemons = Vec::new();
+    for shard in split_tree(tree, HashScheme::Crc32Item, shard_count) {
+        let server = Server::bind(segment(&shard), "127.0.0.1:0", ServeConfig::default()).unwrap();
+        entries.push(ShardEntry {
+            addr: server.local_addr().unwrap().to_string(),
+            path: String::new(),
+        });
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || {
+            server.run().unwrap();
+        });
+        daemons.push(Daemon { handle, thread });
+    }
+    let map = ShardMap {
+        scheme: HashScheme::Crc32Item,
+        items: level1_items(tree),
+        shards: entries,
+    };
+    (map, daemons)
+}
+
+struct Gateway {
+    addr: String,
+    handle: tc_router::RouterHandle,
+    thread: std::thread::JoinHandle<tc_router::RouterStats>,
+}
+
+fn boot_router(map: ShardMap, cfg: RouterConfig) -> Gateway {
+    let router = Router::bind(map, "127.0.0.1:0", cfg).unwrap();
+    let addr = router.local_addr().unwrap().to_string();
+    let handle = router.handle();
+    let thread = std::thread::spawn(move || router.run().unwrap());
+    Gateway {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+/// A raw one-shot HTTP GET that keeps the response headers visible
+/// (tc-serve's `HttpClient` drops them, and the partial contract lives
+/// in a header).
+fn raw_get(addr: &str, path: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    (status, headers, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let name = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// The expected body for a healthy router: the unsharded answer, with
+/// the router's own `secs` spliced in. Returns (prefix, suffix) around
+/// the timing field so the comparison is exact everywhere else.
+fn split_secs(body: &str) -> (String, String) {
+    let (head, rest) = body.split_once("\"secs\":").expect("body has secs");
+    let (_, tail) = rest.split_once(",\"trusses\":").expect("body has trusses");
+    (head.to_string(), tail.to_string())
+}
+
+#[test]
+fn router_answers_match_unsharded_and_degrade_as_configured() {
+    let tree = sample_tree();
+    let unsharded = segment(&tree);
+    let (map, mut daemons) = boot_shards(&tree, 3);
+
+    // Strict router (no --partial) plus a permissive one on the same map.
+    let strict = boot_router(map.clone(), RouterConfig::default());
+    let partial = boot_router(
+        map.clone(),
+        RouterConfig {
+            partial: true,
+            ..RouterConfig::default()
+        },
+    );
+
+    // ---- healthy: byte-identical to the unsharded segment except secs ----
+    let q01: tc_txdb::Pattern = [0u32, 1].iter().map(|&i| tc_txdb::Item(i)).collect();
+    let q0: tc_txdb::Pattern = std::iter::once(tc_txdb::Item(0)).collect();
+    let cases = [
+        ("/qba?alpha=0.0", unsharded.query_by_alpha(0.0).unwrap()),
+        ("/qba?alpha=0.2", unsharded.query_by_alpha(0.2).unwrap()),
+        ("/qbp?items=0,1", unsharded.query(&q01, 0.0).unwrap()),
+        (
+            "/query?items=0&alpha=0.1",
+            unsharded.query(&q0, 0.1).unwrap(),
+        ),
+    ];
+    for (path, local) in &cases {
+        let want = QueryResponse::from_result(local).encode_json();
+        let (status, headers, body) = raw_get(&strict.addr, path);
+        assert_eq!(status, 200, "{path}: {body}");
+        assert!(header(&headers, "X-TC-Partial-Shards").is_none(), "{path}");
+        assert_eq!(split_secs(&body), split_secs(&want), "{path}");
+    }
+
+    // ---- batch: per-entry objects match the unsharded answers ----
+    let mut client = tc_serve::HttpClient::connect(&strict.addr).unwrap();
+    let resp = client
+        .post("/query", r#"[{"alpha":0.0},{"items":[0,1]}]"#)
+        .unwrap();
+    assert!(resp.is_ok(), "{}", resp.body);
+    assert!(resp.body.contains("\"count\":2"));
+    let want0 = QueryResponse::from_result(&unsharded.query_by_alpha(0.0).unwrap());
+    assert!(
+        resp.body
+            .contains(&format!("\"retrieved\":{}", want0.retrieved)),
+        "{}",
+        resp.body
+    );
+
+    // ---- healthz + metrics ----
+    let (status, _, body) = raw_get(&strict.addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"shards\":3"), "{body}");
+    let (status, _, text) = raw_get(&strict.addr, "/metrics");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE tcrouter_requests_total counter",
+        "tcrouter_fanout_total{shard=\"0\"}",
+        "tcrouter_shard_latency_seconds_bucket{shard=\"2\",le=\"+Inf\"}",
+        "tcrouter_shards 3",
+        "tcrouter_shards_down 0",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    // ---- kill one daemon: strict answers 503, partial answers 200 ----
+    let victim = daemons.remove(1);
+    victim.handle.shutdown();
+    victim.thread.join().unwrap();
+
+    let (status, _, body) = raw_get(&strict.addr, "/qba?alpha=0.0");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("unavailable"), "{body}");
+    let (_, _, text) = raw_get(&strict.addr, "/metrics");
+    assert!(text.contains("tcrouter_shards_down 1"), "{text}");
+
+    let (status, headers, body) = raw_get(&partial.addr, "/qba?alpha=0.0");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "X-TC-Partial-Shards"), Some("1"), "{body}");
+    // The partial body is the live shards' union: a strict subset.
+    let full = QueryResponse::from_result(&unsharded.query_by_alpha(0.0).unwrap());
+    let got_retrieved: usize = body
+        .split("\"retrieved\":")
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(got_retrieved < full.retrieved, "{body}");
+
+    // ---- teardown ----
+    assert!(strict.handle.stats().fanout > 0);
+    strict.handle.shutdown();
+    partial.handle.shutdown();
+    strict.thread.join().unwrap();
+    partial.thread.join().unwrap();
+    for d in daemons {
+        d.handle.shutdown();
+        d.thread.join().unwrap();
+    }
+}
+
+#[test]
+fn reload_swaps_the_map_and_survives_a_corrupt_one() {
+    let tree = sample_tree();
+    let (map, daemons) = boot_shards(&tree, 2);
+
+    let dir = std::env::temp_dir().join(format!("tc_router_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let map_path = dir.join("shards.tcmap");
+    map.save_to_path(&map_path).unwrap();
+
+    let gateway = boot_router(
+        map.clone(),
+        RouterConfig {
+            map_path: Some(map_path.clone()),
+            ..RouterConfig::default()
+        },
+    );
+
+    // A good reload swaps in the re-read map.
+    assert_eq!(gateway.handle.reload().unwrap(), (2, map.items.len()));
+
+    // A corrupt map is refused; the old layout keeps serving.
+    let mut bytes = std::fs::read(&map_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&map_path, &bytes).unwrap();
+    assert!(gateway.handle.reload().is_err());
+    let (status, _, body) = raw_get(&gateway.addr, "/qba?alpha=0.0");
+    assert_eq!(status, 200, "{body}");
+    let metrics = gateway.handle.prometheus();
+    assert!(
+        metrics.contains("tcrouter_reloads_total{outcome=\"ok\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("tcrouter_reloads_total{outcome=\"error\"} 1"),
+        "{metrics}"
+    );
+
+    gateway.handle.shutdown();
+    gateway.thread.join().unwrap();
+    for d in daemons {
+        d.handle.shutdown();
+        d.thread.join().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

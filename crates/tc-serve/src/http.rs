@@ -68,7 +68,9 @@ const CT_JSON: &str = "application/json";
 /// The Prometheus text exposition content type.
 const CT_METRICS: &str = "text/plain; version=0.0.4";
 
-fn reason_phrase(code: u16) -> &'static str {
+/// Reason phrase for every status code the gateway (and the tc-router
+/// fan-out tier, which reuses this exposition surface) can emit.
+pub fn reason_phrase(code: u16) -> &'static str {
     match code {
         200 => "OK",
         400 => "Bad Request",
@@ -515,7 +517,7 @@ fn param_error(inner: &Inner, msg: &str) -> (u16, &'static str, String) {
 }
 
 /// Finds `name` in a raw query string (`k=v&k=v`, no decoding).
-fn require_param<'a>(query_string: &'a str, name: &str) -> Result<&'a str, String> {
+pub fn require_param<'a>(query_string: &'a str, name: &str) -> Result<&'a str, String> {
     query_string
         .split('&')
         .find_map(|pair| match pair.split_once('=') {
@@ -527,7 +529,7 @@ fn require_param<'a>(query_string: &'a str, name: &str) -> Result<&'a str, Strin
 
 /// `items=` accepts the same grammar as the line protocol, plus the bare
 /// empty value as a second spelling of the empty pattern.
-fn parse_items_qs(raw: &str) -> Result<Vec<u32>, String> {
+pub fn parse_items_qs(raw: &str) -> Result<Vec<u32>, String> {
     if raw.is_empty() {
         return Ok(Vec::new());
     }
@@ -536,9 +538,13 @@ fn parse_items_qs(raw: &str) -> Result<Vec<u32>, String> {
 
 /// One query, after parameter validation.
 #[derive(Debug, Clone, PartialEq)]
-enum QuerySpec {
+pub enum QuerySpec {
+    /// Query-by-alpha: every theme community with cohesion > alpha.
     Qba(f64),
+    /// Query-by-pattern: every theme community whose pattern covers
+    /// the given items.
     Qbp(Vec<u32>),
+    /// The combined form: pattern plus alpha threshold.
     Query(Vec<u32>, f64),
 }
 
@@ -628,7 +634,7 @@ fn handle_batch(inner: &Inner, body: &[u8]) -> (u16, &'static str, String) {
 
 /// Parses a batch body into query specs: a bare array or
 /// `{"queries":[…]}` of objects naming `items` and/or `alpha`.
-fn parse_batch_specs(text: &str) -> Result<Vec<QuerySpec>, String> {
+pub fn parse_batch_specs(text: &str) -> Result<Vec<QuerySpec>, String> {
     let value = parse_json(text).map_err(|e| format!("bad JSON body: {e}"))?;
     let entries = value
         .as_arr()

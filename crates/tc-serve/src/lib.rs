@@ -70,9 +70,12 @@ pub mod reload;
 pub mod server;
 
 pub use client::{ClientError, RemoteResult, RetryPolicy, ServeClient};
-pub use http::{HttpClient, HttpResponse};
+pub use http::{HttpClient, HttpResponse, QuerySpec};
 pub use limit::{RateLimit, RateLimiter};
 pub use metrics::{Histogram, Metrics};
 pub use protocol::{Greeting, QueryResponse, Request, TrussSummary, PROTOCOL_VERSION};
 pub use reload::TreeSlot;
-pub use server::{install_signal_handlers, ServeConfig, Server, ServerHandle, StatsSnapshot};
+pub use server::{
+    install_signal_handlers, shutdown_signal_pending, take_reload_signal, ServeConfig, Server,
+    ServerHandle, StatsSnapshot,
+};

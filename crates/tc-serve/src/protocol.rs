@@ -179,7 +179,8 @@ impl Request {
     }
 }
 
-pub(crate) fn parse_alpha(token: &str) -> Result<f64, String> {
+/// Parses and validates an `alpha` token: finite, non-negative.
+pub fn parse_alpha(token: &str) -> Result<f64, String> {
     let alpha: f64 = token.parse().map_err(|_| format!("bad alpha '{token}'"))?;
     if !alpha.is_finite() || alpha < 0.0 {
         return Err(format!("alpha must be finite and >= 0, got '{token}'"));
@@ -187,7 +188,9 @@ pub(crate) fn parse_alpha(token: &str) -> Result<f64, String> {
     Ok(alpha)
 }
 
-pub(crate) fn parse_items(token: &str) -> Result<Vec<u32>, String> {
+/// Parses an items token: `-` for the empty pattern, else dense numeric
+/// ids joined by commas.
+pub fn parse_items(token: &str) -> Result<Vec<u32>, String> {
     if token == "-" {
         return Ok(Vec::new());
     }

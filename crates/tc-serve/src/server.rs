@@ -824,8 +824,15 @@ fn signal_received() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// Whether a SIGTERM/SIGINT arrived since [`install_signal_handlers`].
+/// The flag is process-wide: every accept loop (tc-serve daemons and the
+/// tc-router gateway alike) polls it and drains on the same signal.
+pub fn shutdown_signal_pending() -> bool {
+    signal_received()
+}
+
 /// Consumes a pending SIGHUP, if one arrived since the last check.
-fn take_reload_signal() -> bool {
+pub fn take_reload_signal() -> bool {
     SIGNAL_RELOAD.swap(false, Ordering::SeqCst)
 }
 

@@ -19,6 +19,9 @@
 //! * [`tree`] — segment save for [`tc_index::TcTree`] and
 //!   [`SegmentTcTree`], which serves QBA / QBP queries by materialising
 //!   truss decompositions on demand from page offsets;
+//! * [`shardmap`] — the `TCMAP01` shard map: how `tc shard` partitions a
+//!   TC-Tree across N self-contained segment shards and how the
+//!   `tc-router` gateway finds them (byte-level spec: `docs/SHARDING.md`);
 //! * [`sniff`] — format detection by magic bytes (segments vs. the two
 //!   text formats);
 //! * [`convert`] — text ↔ segment conversions, both directions, for both
@@ -63,6 +66,7 @@ pub mod cache;
 pub mod convert;
 pub mod network;
 pub mod page;
+pub mod shardmap;
 pub mod sniff;
 pub mod source;
 pub mod tree;
@@ -74,6 +78,7 @@ pub use network::{
     save_network_segment_to_path,
 };
 pub use page::{SegmentKind, PAGE_SIZE};
+pub use shardmap::{level1_items, split_tree, HashScheme, ShardEntry, ShardMap};
 pub use sniff::{detect_format, DetectedFormat};
 pub use source::{PageSource, SourceKind};
 pub use tc_util::LoadError;

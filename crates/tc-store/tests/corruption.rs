@@ -181,6 +181,87 @@ fn segment_extension_fails_at_open() {
     ));
 }
 
+fn shard_map_bytes() -> Vec<u8> {
+    use tc_store::shardmap::{HashScheme, ShardEntry, ShardMap};
+    ShardMap {
+        scheme: HashScheme::Crc32Item,
+        items: vec![0, 1, 2, 5, 9],
+        shards: vec![
+            ShardEntry {
+                addr: "127.0.0.1:7701".into(),
+                path: "shards/shard-000.seg".into(),
+            },
+            ShardEntry {
+                addr: "127.0.0.1:7702".into(),
+                path: "shards/shard-001.seg".into(),
+            },
+            ShardEntry {
+                addr: "tc-shard-2.internal:7641".into(),
+                path: "/var/lib/tc/shard-002.seg".into(),
+            },
+        ],
+    }
+    .to_bytes()
+}
+
+/// The shard map's payload is CRC-framed like everything else: every
+/// single-bit flip anywhere in the file must surface as a typed error —
+/// a silently mis-parsed map would scatter queries to the wrong fleet.
+#[test]
+fn shard_map_detects_every_bit_flip() {
+    use tc_store::shardmap::ShardMap;
+    let clean = shard_map_bytes();
+    assert!(ShardMap::from_bytes(&clean).is_ok());
+    for pos in 0..clean.len() {
+        for bit in [0, 3, 7] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << bit;
+            let err = ShardMap::from_bytes(&bad);
+            assert!(
+                matches!(err, Err(e) if e.is_corruption()),
+                "flip at {pos}:{bit} not reported as corruption"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_map_truncations_and_extensions_fail() {
+    use tc_store::shardmap::ShardMap;
+    let clean = shard_map_bytes();
+    for cut in 0..clean.len() {
+        let err = ShardMap::from_bytes(&clean[..cut]);
+        assert!(
+            matches!(err, Err(e) if e.is_corruption()),
+            "truncation to {cut} bytes accepted"
+        );
+    }
+    let mut extended = clean;
+    extended.extend_from_slice(&[0u8; 16]);
+    assert!(matches!(
+        ShardMap::from_bytes(&extended),
+        Err(e) if e.is_corruption()
+    ));
+}
+
+/// Version skew is its own failure mode (a newer tool wrote the map),
+/// distinct from random damage: the error must say so.
+#[test]
+fn shard_map_version_skew_is_reported_as_such() {
+    use tc_store::shardmap::{ShardMap, MAP_MAGIC};
+    let clean = shard_map_bytes();
+    let mut payload = clean[16..].to_vec();
+    payload[0] = 2; // version u32 LE: v2
+    let mut skewed = Vec::new();
+    skewed.extend_from_slice(MAP_MAGIC);
+    skewed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    skewed.extend_from_slice(&tc_util::crc32(&payload).to_le_bytes());
+    skewed.extend_from_slice(&payload);
+    let err = ShardMap::from_bytes(&skewed).unwrap_err();
+    assert!(err.is_corruption());
+    assert!(err.to_string().contains("version skew"), "{err}");
+}
+
 fn wal_records() -> Vec<WalRecord> {
     vec![
         WalRecord::AddItem {
