@@ -32,9 +32,14 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only additions are atomic counter updates,
+// which neither allocate (no recursion) nor unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
+        // SAFETY: forwarded under the caller's own contract (`layout` has
+        // non-zero size), which is exactly what `System.alloc` requires.
+        let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             Self::record_alloc(layout.size());
         }
@@ -42,12 +47,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: caller guarantees `ptr` came from this allocator with
+        // this `layout`; we allocate through `System` only, so the pair is
+        // valid for `System.dealloc`.
+        unsafe { System.dealloc(ptr, layout) };
         Self::record_dealloc(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
+        // SAFETY: same forwarding argument as `dealloc`, plus the caller's
+        // guarantee that `new_size` is non-zero and fits `layout.align()`.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             Self::record_dealloc(layout.size());
             Self::record_alloc(new_size);

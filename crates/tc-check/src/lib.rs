@@ -1,0 +1,37 @@
+//! Workspace invariant checking for the theme-communities repository.
+//!
+//! Two halves, both wired into CI:
+//!
+//! * **`tc-check lint`** (this library plus the `tc-check` binary) — a
+//!   std-only source linter enforcing the workspace's cross-cutting
+//!   source invariants. See [`lint`] for the rule set.
+//! * **Model tests** (this crate's `tests/model_*.rs`) — exhaustive
+//!   bounded-interleaving checks of the concurrency core on the vendored
+//!   `tc-model` deterministic scheduler. They compile only under
+//!   `RUSTFLAGS="--cfg tc_check_model"`, where the `tc_util::sync`
+//!   facade swaps std primitives for instrumented lookalikes:
+//!
+//!   ```text
+//!   RUSTFLAGS="--cfg tc_check_model" cargo test -p tc-check
+//!   ```
+//!
+//!   Checked subsystems and invariants (preemption bound 2, exhaustive):
+//!   - `tc_util::steal` — the steal-half protocol never loses a task and
+//!     never runs one twice, including dynamically spawned tasks;
+//!   - `tc-store::cache` — the insert/evict ledger balances
+//!     (`materialized_total − resident == evictions`, `bytes_used` is
+//!     exactly the resident entries' accounted bytes) and stays within
+//!     the budget-plus-one-entry transient envelope;
+//!   - `tc-store::wal::writer` — group commit never acknowledges an
+//!     append before an fsync covering its record has completed;
+//!   - `tc-serve::reload` — readers observe the fully-validated old or
+//!     new tree, never a mix of the two.
+//!
+//! A failing model test prints a replay seed (`tcm1.p2.…`); feed it to
+//! `tc_model::replay` to re-run that exact interleaving. The
+//! `tests/replay.rs` suite pins this machinery with a deliberately racy
+//! fixture. `docs/CONCURRENCY.md` has the full story.
+
+pub mod lint;
+
+pub use lint::{lint_workspace, Finding};

@@ -1,0 +1,50 @@
+//! `tc-check` — the workspace invariant linter CLI.
+//!
+//! ```text
+//! tc-check lint [--root PATH]
+//! ```
+//!
+//! Runs every rule in [`tc_check::lint`] over the workspace (defaulting
+//! to the current directory) and prints one line per finding. Exits 0
+//! when clean, 1 when findings exist, 2 on usage or I/O errors.
+//!
+//! The model tests are not driven by this binary; run them with
+//! `RUSTFLAGS="--cfg tc_check_model" cargo test -p tc-check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tc-check lint [--root PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("lint") {
+        return usage();
+    }
+    let mut root = PathBuf::from(".");
+    match (args.next(), args.next(), args.next()) {
+        (None, _, _) => {}
+        (Some(flag), Some(path), None) if flag == "--root" => root = PathBuf::from(path),
+        _ => return usage(),
+    }
+    match tc_check::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("tc-check lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            eprintln!("tc-check lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("tc-check lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

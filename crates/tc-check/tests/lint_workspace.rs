@@ -1,0 +1,22 @@
+//! The workspace's own source must pass every `tc-check lint` rule —
+//! the same gate CI runs via the binary.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/tc-check sits two levels below the workspace root");
+    let findings = tc_check::lint_workspace(root).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "tc-check lint found violations:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

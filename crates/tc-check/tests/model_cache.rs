@@ -1,0 +1,73 @@
+//! Model check: the `tc-store` node cache's byte ledger.
+//!
+//! Invariants, under every interleaving of two concurrent inserts into
+//! a budgeted cache:
+//!
+//! * the ledger balances — `materialized_total − resident == evictions`;
+//! * `bytes_used` is exactly the accounted bytes of the resident
+//!   entries (no leaked or double-counted bytes);
+//! * `bytes_used` never needs more than the budget plus one in-flight
+//!   entry (the documented transient envelope: an insert accounts its
+//!   entry before the clock sweep can evict, and the sweep skips slots
+//!   that are locked or pinned by readers).
+//!
+//! Compiles only under `RUSTFLAGS="--cfg tc_check_model"`.
+#![cfg(tc_check_model)]
+
+use tc_core::{TrussDecomposition, TrussLevel};
+use tc_model::{try_check_with, Config};
+use tc_store::cache::NodeCache;
+use tc_txdb::{Item, Pattern};
+use tc_util::sync::{thread, Arc};
+
+fn truss(item: u32, edges: usize) -> TrussDecomposition {
+    TrussDecomposition {
+        pattern: Pattern::singleton(Item(item)),
+        levels: vec![TrussLevel {
+            alpha: 1.0,
+            edges: (0..edges as u32).map(|i| (i, i + 1)).collect(),
+        }],
+    }
+}
+
+#[test]
+fn ledger_balances_and_stays_inside_the_transient_envelope() {
+    // Both entries are the same size, and the budget admits exactly one.
+    let entry = NodeCache::accounted_bytes(&truss(0, 4));
+    let report = try_check_with(Config::default(), move || {
+        let cache = Arc::new(NodeCache::new(2, Some(entry)));
+        let writers: Vec<_> = (0..2u32)
+            .map(|id| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    // The returned pin drops before the thread exits, so
+                    // the final sweep below is not blocked by this reader.
+                    let pinned = cache.insert(id, truss(id, 4));
+                    assert_eq!(pinned.pattern, Pattern::singleton(Item(id)));
+                })
+            })
+            .collect();
+        for handle in writers {
+            handle.join().expect("cache writer panicked");
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.materialized_total - stats.resident as u64,
+            stats.evictions,
+            "ledger out of balance: {stats:?}"
+        );
+        assert_eq!(
+            stats.bytes_used,
+            stats.resident as u64 * entry,
+            "bytes_used does not match resident entries: {stats:?}"
+        );
+        assert!(
+            stats.bytes_used <= entry + entry,
+            "budget envelope exceeded (budget {} + one entry {}): {stats:?}",
+            entry,
+            entry
+        );
+    })
+    .unwrap_or_else(|failure| panic!("cache model check failed: {failure}"));
+    assert!(report.schedules > 1);
+}

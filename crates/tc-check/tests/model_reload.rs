@@ -1,0 +1,83 @@
+//! Model check: the `tc-serve` hot-reload tree slot.
+//!
+//! Invariant: a reader racing a SIGHUP reload observes the
+//! fully-validated old tree or the fully-validated new tree — never a
+//! mix — and once the store completes every subsequent load returns the
+//! new tree.
+//!
+//! The reader deliberately sticks to cheap directory reads
+//! (`num_nodes`, `alpha_upper_bound`): materialising nodes would drag
+//! the cache's own scheduling points into this check (they have their
+//! own model test) and explode the schedule space.
+//!
+//! Compiles only under `RUSTFLAGS="--cfg tc_check_model"`.
+#![cfg(tc_check_model)]
+
+use tc_core::DatabaseNetworkBuilder;
+use tc_index::TcTreeBuilder;
+use tc_model::{try_check_with, Config};
+use tc_serve::TreeSlot;
+use tc_store::SegmentTcTree;
+use tc_util::sync::thread;
+
+/// A segment whose tree has one theme-community node per item, so trees
+/// built with different `items` counts have different `num_nodes()`.
+fn segment_bytes_with_items(items: u32) -> Vec<u8> {
+    let mut b = DatabaseNetworkBuilder::new();
+    let interned: Vec<_> = (0..items)
+        .map(|i| b.intern_item(&format!("item{i}")))
+        .collect();
+    for v in 0..4u32 {
+        for item in &interned {
+            for _ in 0..4 {
+                b.add_transaction(v, &[*item]);
+            }
+        }
+    }
+    for v in 0..4u32 {
+        b.add_edge(v, (v + 1) % 4);
+    }
+    b.add_edge(0, 2);
+    let tree = TcTreeBuilder::default().build(&b.build().unwrap());
+    let mut bytes = Vec::new();
+    tc_store::save_tree_segment(&tree, &mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn readers_observe_old_or_new_never_a_mix() {
+    // Segment construction happens outside the checked closure; only the
+    // cheap per-schedule decode runs inside it.
+    let old_bytes = segment_bytes_with_items(1);
+    let new_bytes = segment_bytes_with_items(2);
+    let report = try_check_with(Config::default(), move || {
+        let old = SegmentTcTree::from_bytes(old_bytes.clone()).expect("old segment decodes");
+        let new = SegmentTcTree::from_bytes(new_bytes.clone()).expect("new segment decodes");
+        let old_shape = (old.num_nodes(), old.alpha_upper_bound());
+        let new_shape = (new.num_nodes(), new.alpha_upper_bound());
+        assert_ne!(
+            old_shape, new_shape,
+            "fixture trees must be distinguishable"
+        );
+        let slot = TreeSlot::new(old);
+        thread::scope(|s| {
+            s.spawn(|| slot.store_tree(new));
+            s.spawn(|| {
+                let tree = slot.load();
+                let shape = (tree.num_nodes(), tree.alpha_upper_bound());
+                assert!(
+                    shape == old_shape || shape == new_shape,
+                    "reader saw a mixed tree: {shape:?} (old {old_shape:?}, new {new_shape:?})"
+                );
+            });
+        });
+        let settled = slot.load();
+        assert_eq!(
+            (settled.num_nodes(), settled.alpha_upper_bound()),
+            new_shape,
+            "store completed but a later load still returned the old tree"
+        );
+    })
+    .unwrap_or_else(|failure| panic!("reload model check failed: {failure}"));
+    assert!(report.schedules > 1);
+}

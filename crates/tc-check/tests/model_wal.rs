@@ -1,0 +1,58 @@
+//! Model check: the WAL group-commit leader election.
+//!
+//! Invariant: with `Durability::Always`, `append` never returns before
+//! an fsync covering the record has completed — under every
+//! interleaving of two appenders racing to become the sync leader or
+//! ride a follower's covering flush.
+//!
+//! The check appends from two threads against a `FaultWalStorage` and,
+//! the moment each append is acknowledged, re-scans the storage's
+//! *durable image* (what would survive a crash right now) for the acked
+//! record.
+//!
+//! Compiles only under `RUSTFLAGS="--cfg tc_check_model"`.
+#![cfg(tc_check_model)]
+
+use tc_model::{try_check_with, Config};
+use tc_store::wal::{scan_wal, Durability, FaultWalStorage, Wal, WalRecord};
+use tc_util::sync::thread;
+
+#[test]
+fn append_never_acks_before_a_covering_fsync() {
+    let report = try_check_with(Config::default(), || {
+        let storage = FaultWalStorage::new();
+        let probe = storage.clone();
+        let (wal, _scan) =
+            Wal::open(Box::new(storage), Durability::Always).expect("fresh wal opens");
+        thread::scope(|s| {
+            for vertex in 0..2u32 {
+                let wal = &wal;
+                let probe = probe.clone();
+                s.spawn(move || {
+                    let seqno = wal
+                        .append(&WalRecord::AddDatabase { vertex })
+                        .expect("append on healthy storage");
+                    // Ack in hand: a crash *now* must still replay us.
+                    let durable =
+                        scan_wal(&probe.durable_image()).expect("durable image is well-formed");
+                    assert!(
+                        durable.records.iter().any(|&(s, _)| s == seqno),
+                        "append acked seqno {seqno} before a covering fsync; \
+                         durable seqnos: {:?}",
+                        durable.records.iter().map(|&(s, _)| s).collect::<Vec<_>>()
+                    );
+                });
+            }
+        });
+        let durable = scan_wal(&probe.durable_image()).expect("durable image is well-formed");
+        assert_eq!(durable.records.len(), 2, "both records durable at the end");
+        let max_seqno = durable.records.iter().map(|&(s, _)| s).max().unwrap();
+        assert_eq!(
+            wal.durable_seqno(),
+            max_seqno,
+            "writer's durable watermark lags the storage"
+        );
+    })
+    .unwrap_or_else(|failure| panic!("wal model check failed: {failure}"));
+    assert!(report.schedules > 1);
+}

@@ -1,0 +1,81 @@
+//! Pins the model checker itself: a deliberately racy fixture must be
+//! caught, and its seed must replay the exact failing interleaving.
+//!
+//! These tests run in the ordinary tier-1 `cargo test` (no
+//! `tc_check_model` cfg needed): `tc-model`'s own types are always
+//! instrumented inside its crate — the cfg only switches what the
+//! `tc_util::sync` facade re-exports.
+
+use tc_model::sync::atomic::{AtomicUsize, Ordering};
+use tc_model::sync::Arc;
+use tc_model::{replay, thread, try_check_with, Config, FailureKind};
+
+/// The classic lost update: two threads each read-modify-write a shared
+/// counter non-atomically. Under the interleaving `load load store
+/// store` one increment vanishes.
+fn racy_counter() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                let seen = counter.load(Ordering::SeqCst);
+                counter.store(seen + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle
+            .join()
+            .expect("model thread panics are reported via check, not join");
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn lost_update_is_caught_and_the_seed_replays_it() {
+    let failure = try_check_with(Config::default(), racy_counter)
+        .expect_err("the racy fixture must be caught");
+    assert!(
+        matches!(failure.kind, FailureKind::Panic(_)),
+        "expected the lost-update assertion to fire, got {failure}"
+    );
+    assert!(
+        failure.seed.starts_with("tcm1.p2."),
+        "unexpected seed format: {:?}",
+        failure.seed
+    );
+
+    // The seed replays the same interleaving: same failure kind, and the
+    // re-encoded trace is byte-identical to the one we were handed.
+    let replayed = replay(&failure.seed, racy_counter)
+        .expect_err("replaying the failing seed must fail again");
+    assert_eq!(replayed.seed, failure.seed, "replay diverged from the seed");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.schedules, 1, "a replay runs exactly one schedule");
+}
+
+#[test]
+fn fixed_counter_passes_exhaustively() {
+    let report = try_check_with(Config::default(), || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("no panics in the fixed fixture");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    })
+    .expect("the atomic fixture has no race");
+    assert!(
+        report.schedules > 1,
+        "exploration was not exhaustive: {} schedule(s)",
+        report.schedules
+    );
+}

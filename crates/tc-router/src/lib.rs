@@ -114,10 +114,11 @@ use std::io::ErrorKind;
 use std::net::{IpAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use tc_serve::{ClientError, QueryResponse, QuerySpec, RateLimit, RateLimiter};
 use tc_store::ShardMap;
+use tc_util::sync::Mutex;
 use tc_util::LoadError;
 
 /// Accept-loop poll interval while the listener is idle.
@@ -189,7 +190,7 @@ pub(crate) struct Inner {
 impl Inner {
     /// The current shard layout; requests hold one snapshot end-to-end.
     pub fn snapshot(&self) -> Arc<Shards> {
-        self.shards.lock().expect("shards lock").clone()
+        self.shards.lock().clone()
     }
 
     /// Admits under the per-client rate limit, counting refusals.
@@ -241,7 +242,17 @@ pub(crate) fn scatter_query(inner: &Inner, shards: &Shards, spec: &QuerySpec) ->
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scatter worker panicked"))
+            .map(|h| {
+                // A panicking scatter worker must not take the whole
+                // gateway session down with it: treat its shard exactly
+                // like a transport failure (503 or a partial answer,
+                // depending on `--partial`).
+                h.join().unwrap_or_else(|_| {
+                    Err(ClientError::Io(std::io::Error::other(
+                        "scatter worker panicked",
+                    )))
+                })
+            })
             .collect()
     });
     let mut answered = Vec::new();
@@ -452,7 +463,7 @@ impl RouterHandle {
         match ShardMap::load_from_path(&path) {
             Ok(map) => {
                 let counts = (map.shards.len(), map.items.len());
-                *self.inner.shards.lock().expect("shards lock") = Arc::new(Shards::new(map));
+                *self.inner.shards.lock() = Arc::new(Shards::new(map));
                 self.inner.metrics.reloads.fetch_add(1, Ordering::Relaxed);
                 Ok(counts)
             }

@@ -45,15 +45,13 @@ impl RouterMetrics {
     /// Counts one response under its status code (unknown codes land in
     /// the 500 bucket, mirroring tc-serve).
     pub fn count_http_response(&self, code: u16) {
-        let idx = HTTP_CODES
+        // Fold unknown codes onto 500; if 500 itself ever left the list,
+        // fold onto the last slot rather than panic in a request path.
+        let fold = HTTP_CODES
             .iter()
-            .position(|&c| c == code)
-            .unwrap_or_else(|| {
-                HTTP_CODES
-                    .iter()
-                    .position(|&c| c == 500)
-                    .expect("500 is in HTTP_CODES")
-            });
+            .position(|&c| c == 500)
+            .unwrap_or(HTTP_CODES.len() - 1);
+        let idx = HTTP_CODES.iter().position(|&c| c == code).unwrap_or(fold);
         self.http_responses[idx].fetch_add(1, Ordering::Relaxed);
     }
 

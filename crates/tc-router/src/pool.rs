@@ -1,9 +1,9 @@
 //! Per-shard connection pools over the tc-serve line protocol.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 use tc_serve::{ClientError, Histogram, ServeClient};
+use tc_util::sync::Mutex;
 
 /// Idle connections kept per shard; extras are closed on check-in.
 const MAX_IDLE: usize = 8;
@@ -60,7 +60,7 @@ impl ShardPool {
         &self,
         f: impl FnOnce(&mut ServeClient) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
-        let pooled = self.idle.lock().expect("pool lock").pop();
+        let pooled = self.idle.lock().pop();
         let mut client = match pooled {
             Some(c) => c,
             None => ServeClient::connect(&self.addr)?,
@@ -69,7 +69,7 @@ impl ShardPool {
         // A `Remote` error is an answered request on a healthy socket;
         // anything else leaves the connection in an unknown state.
         if matches!(result, Ok(_) | Err(ClientError::Remote(_))) {
-            let mut idle = self.idle.lock().expect("pool lock");
+            let mut idle = self.idle.lock();
             if idle.len() < MAX_IDLE {
                 idle.push(client);
             }

@@ -13,8 +13,8 @@
 
 use std::collections::HashMap;
 use std::net::IpAddr;
-use std::sync::Mutex;
 use std::time::Instant;
+use tc_util::sync::Mutex;
 
 /// Hard cap on tracked buckets. At the cap, full (i.e. long-idle)
 /// buckets are swept first — an idle client's bucket refills to `burst`
@@ -82,7 +82,7 @@ impl RateLimiter {
     /// [`RateLimiter::allow`] with an injected clock, so tests are
     /// deterministic.
     fn allow_at(&self, client: IpAddr, now: Instant) -> bool {
-        let mut buckets = self.buckets.lock().expect("rate-limit buckets poisoned");
+        let mut buckets = self.buckets.lock();
         if buckets.len() >= MAX_TRACKED_CLIENTS && !buckets.contains_key(&client) {
             let (per_sec, burst) = (self.cfg.per_sec, self.cfg.burst);
             let effective = move |b: &Bucket, now: Instant| {
@@ -195,12 +195,12 @@ mod tests {
             let addr = IpAddr::V4(Ipv4Addr::from((i as u32 + 1).to_be_bytes()));
             assert!(rl.allow_at(addr, t0));
         }
-        assert_eq!(rl.buckets.lock().unwrap().len(), MAX_TRACKED_CLIENTS);
+        assert_eq!(rl.buckets.lock().len(), MAX_TRACKED_CLIENTS);
         // Much later every tracked bucket is full again, so a new client
         // triggers a sweep instead of unbounded growth.
         let t1 = t0 + Duration::from_secs(3600);
         assert!(rl.allow_at(ip(9), t1));
-        assert!(rl.buckets.lock().unwrap().len() < MAX_TRACKED_CLIENTS);
+        assert!(rl.buckets.lock().len() < MAX_TRACKED_CLIENTS);
     }
 
     #[test]
@@ -217,7 +217,7 @@ mod tests {
             assert!(rl.allow_at(addr, t0), "client {i} must still be admitted");
         }
         assert!(
-            rl.buckets.lock().unwrap().len() <= MAX_TRACKED_CLIENTS,
+            rl.buckets.lock().len() <= MAX_TRACKED_CLIENTS,
             "bucket map must never exceed MAX_TRACKED_CLIENTS"
         );
     }

@@ -184,14 +184,13 @@ impl Metrics {
     /// Bumps the HTTP response counter for `code` (unknown codes count
     /// as 500 — the exposition set is closed).
     pub fn count_http_response(&self, code: u16) {
-        let fold_to_500 = HTTP_CODES
+        // Fold unknown codes onto 500; if 500 itself ever left the list,
+        // fold onto the last slot rather than panic in a request path.
+        let fold = HTTP_CODES
             .iter()
             .position(|&c| c == 500)
-            .expect("500 listed");
-        let idx = HTTP_CODES
-            .iter()
-            .position(|&c| c == code)
-            .unwrap_or(fold_to_500);
+            .unwrap_or(HTTP_CODES.len() - 1);
+        let idx = HTTP_CODES.iter().position(|&c| c == code).unwrap_or(fold);
         self.http_responses[idx].fetch_add(1, Ordering::Relaxed);
     }
 

@@ -30,10 +30,15 @@
 //! swap. Dropping the old `Arc<SegmentTcTree>` (once its last in-flight
 //! request finishes) unmaps the old source — repeated `SIGHUP`s never
 //! accumulate mappings.
+//!
+//! The slot's lock and `Arc` come through the [`tc_util::sync`] facade,
+//! so `tc-check` model-checks the snapshot guarantee (readers observe
+//! the fully-validated old or new tree, never a mix) under
+//! `--cfg tc_check_model`.
 
 use std::path::Path;
-use std::sync::{Arc, Mutex};
 use tc_store::{SegmentTcTree, StoreOptions};
+use tc_util::sync::{Arc, Mutex};
 use tc_util::LoadError;
 
 /// The swap cell: readers take a cheap `Arc` clone, the reloader
@@ -56,13 +61,20 @@ impl TreeSlot {
     /// The snapshot to serve one request from. Call once per request:
     /// everything derived from the returned `Arc` is mutually consistent.
     pub fn load(&self) -> Arc<SegmentTcTree> {
-        Arc::clone(&self.current.lock().expect("tree slot poisoned"))
+        Arc::clone(&self.current.lock())
     }
 
     /// Atomically replaces the served segment. In-flight requests keep
     /// their snapshot; subsequent [`TreeSlot::load`]s see `tree`.
     pub fn store(&self, tree: Arc<SegmentTcTree>) {
-        *self.current.lock().expect("tree slot poisoned") = tree;
+        *self.current.lock() = tree;
+    }
+
+    /// [`TreeSlot::store`], taking ownership of an unwrapped tree — the
+    /// common shape at reload sites, which validate a fresh
+    /// [`SegmentTcTree`] before it ever becomes shared.
+    pub fn store_tree(&self, tree: SegmentTcTree) {
+        self.store(Arc::new(tree));
     }
 }
 
@@ -79,7 +91,7 @@ pub fn reload_from_path(
 ) -> Result<usize, LoadError> {
     let fresh = SegmentTcTree::open_with(path, opts)?;
     let nodes = fresh.num_nodes();
-    slot.store(Arc::new(fresh));
+    slot.store_tree(fresh);
     Ok(nodes)
 }
 

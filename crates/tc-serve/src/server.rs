@@ -42,10 +42,11 @@ use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use tc_store::{SegmentTcTree, StoreOptions};
 use tc_txdb::{Item, Pattern};
+use tc_util::sync::{Condvar, Mutex};
 use tc_util::LoadError;
 
 /// How often blocked socket reads and queue waits wake to re-check the
@@ -212,7 +213,7 @@ impl ServerHandle {
     /// completed reload. In-flight requests keep their snapshot; no
     /// session is dropped.
     pub fn swap_tree(&self, tree: SegmentTcTree) {
-        self.inner.tree.store(Arc::new(tree));
+        self.inner.tree.store_tree(tree);
         self.inner.metrics.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -257,7 +258,7 @@ impl ServerHandle {
             return; // a reload is already running; SIGHUP storms coalesce
         }
         let handle = self.clone();
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("tc-serve-reload".to_string())
             .spawn(move || {
                 match handle.reload() {
@@ -268,8 +269,18 @@ impl ServerHandle {
                     .inner
                     .reload_in_progress
                     .store(false, Ordering::SeqCst);
-            })
-            .expect("spawn reload thread");
+            });
+        if let Err(e) = spawned {
+            // Spawn failure (thread exhaustion) must not take the accept
+            // loop down — the old segment keeps serving, the latch clears
+            // so a later SIGHUP can retry, and the failure is counted.
+            eprintln!("tc-serve: could not spawn reload thread: {e}");
+            inner
+                .metrics
+                .reload_failures
+                .fetch_add(1, Ordering::Relaxed);
+            inner.reload_in_progress.store(false, Ordering::SeqCst);
+        }
     }
 }
 
@@ -390,16 +401,6 @@ impl Server {
     /// requested, then drains in-flight sessions and returns the final
     /// counter snapshot.
     pub fn run(self) -> std::io::Result<StatsSnapshot> {
-        let workers: Vec<_> = (0..self.inner.cfg.workers)
-            .map(|i| {
-                let inner = Arc::clone(&self.inner);
-                std::thread::Builder::new()
-                    .name(format!("tc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-
         let teardown = |inner: &Arc<Inner>, workers: Vec<std::thread::JoinHandle<()>>| {
             inner.shutdown.store(true, Ordering::SeqCst);
             inner.queue_cv.notify_all();
@@ -407,6 +408,23 @@ impl Server {
                 let _ = w.join();
             }
         };
+
+        let mut workers = Vec::with_capacity(self.inner.cfg.workers);
+        for i in 0..self.inner.cfg.workers {
+            let inner = Arc::clone(&self.inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("tc-serve-worker-{i}"))
+                .spawn(move || worker_loop(&inner));
+            match spawned {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    // A short pool can't serve the configured parallelism;
+                    // fail startup cleanly instead of panicking.
+                    teardown(&self.inner, workers);
+                    return Err(e);
+                }
+            }
+        }
 
         while !self.inner.shutdown.load(Ordering::SeqCst) && !signal_received() {
             if take_reload_signal() {
@@ -495,7 +513,7 @@ impl Server {
         // — without this, a SHUTDOWN landing between the accept-loop check
         // and the push could orphan the connection and leak the inflight
         // gauge.
-        let mut queue = self.inner.queue.lock().expect("queue poisoned");
+        let mut queue = self.inner.queue.lock();
         if inner.shutdown.load(Ordering::SeqCst) {
             drop(queue);
             inner.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -529,7 +547,7 @@ impl Drop for InflightGuard<'_> {
 fn worker_loop(inner: &Inner) {
     loop {
         let session = {
-            let mut queue = inner.queue.lock().expect("queue poisoned");
+            let mut queue = inner.queue.lock();
             loop {
                 if let Some(s) = queue.pop_front() {
                     break Some(s);
@@ -537,10 +555,7 @@ fn worker_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (q, _) = inner
-                    .queue_cv
-                    .wait_timeout(queue, READ_TICK)
-                    .expect("queue poisoned");
+                let (q, _) = inner.queue_cv.wait_timeout(queue, READ_TICK);
                 queue = q;
             }
         };
@@ -858,6 +873,11 @@ pub fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
     }
+    // SAFETY: `signal(2)` is async-signal-safe to install from any thread;
+    // the handlers passed are `extern "C" fn(i32)` with the exact ABI the
+    // C runtime invokes them under, and each performs only a single atomic
+    // store (itself async-signal-safe). The returned previous handler is
+    // deliberately discarded — the daemon owns these three signals.
     unsafe {
         signal(SIGTERM, on_shutdown);
         signal(SIGINT, on_shutdown);

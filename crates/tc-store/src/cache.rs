@@ -27,11 +27,14 @@
 //! `try_lock` so it never blocks behind a reader, and the clock hand is a
 //! single atomic. Two threads materialising the same node parse identical
 //! bytes — the loser of the insert race adopts the winner's entry and
-//! charges nothing.
+//! charges nothing. All primitives come through the [`tc_util::sync`]
+//! facade, so `tc-check` model-checks the insert/evict ledger (balance
+//! and budget envelope) across bounded interleavings under
+//! `--cfg tc_check_model`.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use tc_core::TrussDecomposition;
+use tc_util::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use tc_util::sync::{Arc, Mutex};
 use tc_util::HeapSize;
 
 /// A point-in-time snapshot of the cache counters, as exposed by
@@ -84,9 +87,14 @@ struct Entry {
 
 /// A fixed-slot (one per tree node) cache with a byte budget and
 /// clock/second-chance eviction.
-pub(crate) struct NodeCache {
+///
+/// Public (but `doc(hidden)`) so `tc-check`'s model tests can drive the
+/// insert/evict protocol directly; everything else reaches it through
+/// [`crate::tree::SegmentTcTree`].
+#[doc(hidden)]
+pub struct NodeCache {
     budget: Option<u64>,
-    slots: Box<[parking_lot::Mutex<Option<Entry>>]>,
+    slots: Box<[Mutex<Option<Entry>>]>,
     hand: AtomicUsize,
     bytes_used: AtomicU64,
     resident: AtomicUsize,
@@ -108,10 +116,10 @@ impl std::fmt::Debug for NodeCache {
 
 impl NodeCache {
     /// One slot per node; `budget = None` disables eviction entirely.
-    pub(crate) fn new(slots: usize, budget: Option<u64>) -> NodeCache {
+    pub fn new(slots: usize, budget: Option<u64>) -> NodeCache {
         NodeCache {
             budget,
-            slots: (0..slots).map(|_| parking_lot::Mutex::new(None)).collect(),
+            slots: (0..slots).map(|_| Mutex::new(None)).collect(),
             hand: AtomicUsize::new(0),
             bytes_used: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
@@ -125,7 +133,7 @@ impl NodeCache {
     /// Looks up node `id`, pinning the entry for the caller and marking it
     /// recently used. A miss is counted; the caller is expected to parse
     /// and [`NodeCache::insert`].
-    pub(crate) fn get(&self, id: u32) -> Option<Arc<TrussDecomposition>> {
+    pub fn get(&self, id: u32) -> Option<Arc<TrussDecomposition>> {
         let slot = self.slots[id as usize].lock();
         match &*slot {
             Some(e) => {
@@ -144,7 +152,7 @@ impl NodeCache {
     /// the eviction sweep if the ledger now exceeds the budget. The
     /// returned `Arc` is the caller's pin. If another thread won the
     /// insert race, its (byte-identical) entry is adopted unchanged.
-    pub(crate) fn insert(&self, id: u32, truss: TrussDecomposition) -> Arc<TrussDecomposition> {
+    pub fn insert(&self, id: u32, truss: TrussDecomposition) -> Arc<TrussDecomposition> {
         let arc = Arc::new(truss);
         let bytes = entry_bytes(&arc);
         {
@@ -205,12 +213,20 @@ impl NodeCache {
     }
 
     /// Entries currently resident.
-    pub(crate) fn resident(&self) -> usize {
+    pub fn resident(&self) -> usize {
         self.resident.load(Ordering::Relaxed)
     }
 
+    /// The accounted byte size an entry for `truss` would be charged —
+    /// exposed so the model tests can reason about the budget envelope
+    /// in the same units the ledger uses.
+    #[doc(hidden)]
+    pub fn accounted_bytes(truss: &TrussDecomposition) -> u64 {
+        entry_bytes(truss)
+    }
+
     /// Snapshot of every counter.
-    pub(crate) fn stats(&self) -> CacheStats {
+    pub fn stats(&self) -> CacheStats {
         CacheStats {
             bytes_used: self.bytes_used.load(Ordering::Relaxed),
             budget: self.budget,

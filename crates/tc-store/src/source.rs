@@ -187,9 +187,13 @@ mod mmap {
         len: usize,
     }
 
-    // The mapping is read-only and never remapped after construction, so
-    // shared access from any thread is safe.
+    // SAFETY: the mapping is PROT_READ and never remapped or written
+    // after construction, so concurrent reads from any thread observe
+    // immutable memory; the raw pointer is only dereferenced inside
+    // `read_at`'s bounds-checked copy and freed exactly once in `Drop`.
     unsafe impl Send for MmapSource {}
+    // SAFETY: same argument — `&MmapSource` only permits reads of
+    // immutable, page-aligned memory owned by the mapping.
     unsafe impl Sync for MmapSource {}
 
     impl std::fmt::Debug for MmapSource {
@@ -217,6 +221,11 @@ mod mmap {
                     len: 0,
                 });
             }
+            // SAFETY: `file` is a freshly opened, readable descriptor that
+            // stays open across the call; `len` is its exact non-zero size;
+            // a null hint with PROT_READ|MAP_PRIVATE asks the kernel for a
+            // new private read-only mapping and cannot clobber existing
+            // memory. The result is validated below before use.
             let ptr = unsafe {
                 mmap(
                     std::ptr::null_mut(),
@@ -245,8 +254,20 @@ mod mmap {
     impl Drop for MmapSource {
         fn drop(&mut self) {
             if self.len > 0 {
-                unsafe {
-                    munmap(self.ptr as *mut c_void, self.len);
+                // SAFETY: `ptr`/`len` are exactly what mmap returned for
+                // this object, the mapping is still live (only Drop ever
+                // unmaps), and Drop runs at most once.
+                let rc = unsafe { munmap(self.ptr as *mut c_void, self.len) };
+                // munmap failing here means the arguments were corrupted
+                // (EINVAL is its only realistic errno for a valid mapping):
+                // loud in debug builds, logged-but-not-fatal in release —
+                // panicking in a destructor would abort the process.
+                debug_assert_eq!(rc, 0, "munmap({:p}, {}) failed", self.ptr, self.len);
+                if rc != 0 {
+                    eprintln!(
+                        "tc-store: munmap({:p}, {}) failed; leaking the mapping",
+                        self.ptr, self.len
+                    );
                 }
             }
         }
@@ -262,8 +283,10 @@ mod mmap {
                 .ok()
                 .filter(|&s| s.checked_add(buf.len()).is_some_and(|e| e <= self.len))
                 .ok_or_else(|| LoadError::corrupt("segment: read past end of mapping"))?;
-            // Safety: start + buf.len() <= self.len, and the mapping lives
-            // as long as &self.
+            // SAFETY: the check above guarantees `start + buf.len() <=
+            // self.len`, the mapping is immutable and outlives `&self`,
+            // and `buf` is a distinct, writable slice — the ranges cannot
+            // overlap because one side is foreign mapped memory.
             unsafe {
                 std::ptr::copy_nonoverlapping(self.ptr.add(start), buf.as_mut_ptr(), buf.len());
             }

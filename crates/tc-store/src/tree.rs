@@ -28,11 +28,11 @@ use crate::page::{write_segment, PageFile, SectionInfo, SegmentKind};
 use crate::source::SourceKind;
 use std::io::Write;
 use std::path::Path;
-use std::sync::Arc;
 use tc_core::{TrussDecomposition, TrussLevel};
 use tc_index::{QueryResult, TcNode, TcTree};
 use tc_txdb::{Item, Pattern};
 use tc_util::bytes::{checked_len_u32, put_f64, put_u32, put_u64, ByteReader};
+use tc_util::sync::Arc;
 use tc_util::{float, LoadError, Stopwatch};
 
 const SEC_NODES: u32 = 1;

@@ -14,9 +14,15 @@
 //! watermark. The storage handle lives *outside* the state mutex so new
 //! records keep appending to the file (and into the next batch) while the
 //! flush runs.
+//!
+//! The state mutex and the `flushed` condvar come through the
+//! [`tc_util::sync`] facade, so `tc-check` model-checks the leader
+//! election under `--cfg tc_check_model`: no append acks before a sync
+//! that covers its record has completed.
 
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use tc_util::sync::{Condvar, Mutex, MutexGuard};
 
 use tc_util::LoadError;
 
@@ -204,7 +210,7 @@ impl Wal {
                     }
                 }
             } else {
-                state = self.flushed.wait(state).expect("wal state mutex poisoned");
+                state = self.flushed.wait(state);
             }
         }
     }
@@ -267,8 +273,8 @@ impl Wal {
         Ok(())
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, WalState> {
-        self.state.lock().expect("wal state mutex poisoned")
+    fn lock(&self) -> MutexGuard<'_, WalState> {
+        self.state.lock()
     }
 
     /// Records appended through this handle (not counting recovery).

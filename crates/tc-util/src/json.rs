@@ -241,9 +241,12 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // byte boundaries are valid).
+                    // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `self.bytes` came from a `&str`, and
+                    // `self.pos` only ever advances by whole scalar widths
+                    // (`c.len_utf8()` below, or 1 over ASCII bytes), so
+                    // `rest` starts on a UTF-8 boundary and is valid UTF-8.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);

@@ -1,7 +1,10 @@
 //! Low-level substrates shared by every crate in the theme-communities
 //! workspace.
 //!
-//! This crate deliberately has **zero dependencies**. It provides:
+//! This crate deliberately has no dependencies beyond the vendored
+//! `tc-model` interleaving checker (which itself has none, and whose
+//! instrumentation compiles in only under `--cfg tc_check_model`). It
+//! provides:
 //!
 //! * [`hash`] — an Fx-style non-cryptographic hasher plus [`FxHashMap`] /
 //!   [`FxHashSet`] aliases. Hot maps in the miners are keyed by small
@@ -26,6 +29,10 @@
 //!   miners and the parallel TC-Tree builders: per-worker deques,
 //!   steal-half balancing, dynamic task spawning, deterministic
 //!   per-worker state reduction.
+//! * [`sync`] — the synchronization facade the concurrency core builds
+//!   on: non-poisoning `Mutex`/`Condvar`, `Arc`, atomics and thread
+//!   shims that swap to the `tc-model` deterministic scheduler under
+//!   `--cfg tc_check_model` (see `docs/CONCURRENCY.md`).
 //! * [`timer`] — a tiny stopwatch and simple descriptive statistics used by
 //!   the benchmark harness.
 
@@ -38,6 +45,7 @@ pub mod hash;
 pub mod heapsize;
 pub mod json;
 pub mod steal;
+pub mod sync;
 pub mod timer;
 
 pub use bitset::BitSet;

@@ -27,15 +27,21 @@
 //! spinning: on machines with fewer cores than workers a spinning thief
 //! would steal cycles from the worker actually making progress.
 //!
-//! The implementation is deliberately `std`-only (this crate has zero
-//! dependencies): the deques are small mutex-guarded `VecDeque`s, not
-//! lock-free Chase-Lev buffers. The tasks this executor runs (an MPTD
-//! call, a truss decomposition) cost orders of magnitude more than an
-//! uncontended mutex, so queue overhead is noise.
+//! The implementation is deliberately simple: the deques are small
+//! mutex-guarded `VecDeque`s, not lock-free Chase-Lev buffers. The tasks
+//! this executor runs (an MPTD call, a truss decomposition) cost orders
+//! of magnitude more than an uncontended mutex, so queue overhead is
+//! noise.
+//!
+//! Every primitive comes from the [`crate::sync`] facade, so under
+//! `--cfg tc_check_model` the executor runs on the deterministic
+//! `tc-model` scheduler and `tc-check` exhaustively verifies the
+//! steal-half protocol (no task lost, none run twice) across bounded
+//! interleavings.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{thread, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// How long an idle worker parks before re-checking the queues. Bounds
@@ -101,7 +107,7 @@ impl Executor {
         if n == 1 {
             return vec![worker_loop(&shared, 0, &init, &task)];
         }
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|w| {
                     let shared = &shared;
@@ -139,7 +145,7 @@ impl<T> Worker<'_, T> {
         // between the push and any later increment, which would let
         // `pending` underflow and release the workers early.
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.queues[self.index].lock().unwrap().push_back(t);
+        self.shared.queues[self.index].lock().push_back(t);
         // One new task ⇒ one woken thief. Waking every sleeper here turns
         // each spawn into a stampede of fruitless steal scans, which on an
         // oversubscribed host (more workers than cores) steals real CPU
@@ -181,14 +187,14 @@ impl<T> Shared<T> {
 
     fn wake_one(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.park_lock.lock().unwrap();
+            let _guard = self.park_lock.lock();
             self.park_cv.notify_one();
         }
     }
 
     fn wake_all(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.park_lock.lock().unwrap();
+            let _guard = self.park_lock.lock();
             self.park_cv.notify_all();
         }
     }
@@ -196,14 +202,14 @@ impl<T> Shared<T> {
     /// Next task for worker `w`: own deque first (LIFO), then steal the
     /// front half of the first non-empty victim deque.
     fn next_task(&self, w: usize) -> Option<T> {
-        if let Some(t) = self.queues[w].lock().unwrap().pop_back() {
+        if let Some(t) = self.queues[w].lock().pop_back() {
             return Some(t);
         }
         let n = self.queues.len();
         for offset in 1..n {
             let victim = (w + offset) % n;
             let mut stolen = {
-                let mut q = self.queues[victim].lock().unwrap();
+                let mut q = self.queues[victim].lock();
                 let len = q.len();
                 if len == 0 {
                     continue;
@@ -215,7 +221,7 @@ impl<T> Shared<T> {
             };
             let first = stolen.pop_front();
             if !stolen.is_empty() {
-                self.queues[w].lock().unwrap().append(&mut stolen);
+                self.queues[w].lock().append(&mut stolen);
                 // The surplus we just re-queued is stealable again.
                 self.wake_one();
             }
@@ -270,9 +276,9 @@ fn worker_loop<T, S>(
         // check and the wait; spawns and run-completion notify eagerly.
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
         {
-            let guard = shared.park_lock.lock().unwrap();
+            let guard = shared.park_lock.lock();
             if shared.pending.load(Ordering::SeqCst) != 0 {
-                let _ = shared.park_cv.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+                let _ = shared.park_cv.wait_timeout(guard, PARK_TIMEOUT);
             }
         }
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);

@@ -1,0 +1,465 @@
+//! Loom-lite deterministic interleaving checker.
+//!
+//! `tc-model` runs a closure many times, once per distinguishable thread
+//! interleaving, with every schedule driven deterministically: model
+//! threads are real OS threads, but a token serializes them so exactly
+//! one runs at a time, and the scheduler picks who gets the token at
+//! every instrumented operation (lock, condvar wait/notify, atomic op,
+//! `Arc` clone/drop, spawn/join/yield). A DFS over those decision points
+//! — pruned by a bounded-preemption budget, the standard trick from
+//! CHESS/loom for keeping exhaustive exploration tractable — visits
+//! every schedule the model distinguishes.
+//!
+//! A failing schedule (panic, deadlock, step-budget livelock) aborts the
+//! search and reports a **seed**: a replayable encoding of every
+//! scheduling decision. [`replay`] re-runs exactly that schedule, so a
+//! race found in CI reproduces byte-identically at a desk.
+//!
+//! ```
+//! use tc_model::sync::atomic::{AtomicUsize, Ordering};
+//! use tc_model::sync::Arc;
+//!
+//! tc_model::check(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = tc_model::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! The primitives in [`sync`] and [`thread`] are **pass-through** when
+//! used outside [`check`]: they behave like (and wrap) their `std`
+//! counterparts, so code built against them still runs normally — that
+//! is what lets `tc_util::sync` swap them in for the whole dependency
+//! graph under `--cfg tc_check_model` without breaking ordinary tests.
+//!
+//! The model is *sequentially consistent*: it explores interleavings of
+//! instrumented operations, not weak-memory reorderings. That matches
+//! the invariants it is used to check (lock-protocol and lost-update
+//! races), and keeps the vendored checker dependency-free.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use rt::Decision;
+
+/// Exploration limits for one [`check_with`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Most *preemptions* (switching away from a still-runnable thread)
+    /// any single schedule may contain. Schedules needing more are not
+    /// explored; empirically almost all real races need ≤ 2 (the CHESS
+    /// observation). Voluntary switches — blocking on a held lock, a
+    /// condvar wait, thread exit — are free.
+    pub preemption_bound: usize,
+    /// Most schedules to explore before failing with
+    /// [`FailureKind::ScheduleLimit`] — a guard against state-space
+    /// blowups silently eating CI minutes.
+    pub max_schedules: usize,
+    /// Most scheduling decisions in a single schedule before it fails
+    /// with [`FailureKind::StepLimit`] — a livelock detector.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// Why a schedule (or the whole exploration) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failures included); the
+    /// payload's message is carried verbatim.
+    Panic(String),
+    /// No thread could run: every live thread was blocked on a lock,
+    /// plain condvar wait, or join that nothing will ever satisfy.
+    Deadlock,
+    /// One schedule exceeded [`Config::max_steps`] decisions.
+    StepLimit,
+    /// Exploration exceeded [`Config::max_schedules`].
+    ScheduleLimit,
+    /// A replay seed (or DFS prefix) no longer matches the execution —
+    /// the closure is not deterministic. The message names the decision.
+    SeedDiverged(String),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "a model thread panicked: {msg}"),
+            FailureKind::Deadlock => write!(f, "deadlock: no model thread can make progress"),
+            FailureKind::StepLimit => write!(f, "step limit exceeded (livelock?)"),
+            FailureKind::ScheduleLimit => write!(
+                f,
+                "schedule limit exceeded before exhausting the state space"
+            ),
+            FailureKind::SeedDiverged(msg) => write!(f, "seed diverged: {msg}"),
+        }
+    }
+}
+
+/// A failed exploration: what went wrong, the replayable seed for the
+/// failing schedule, and how many schedules ran to find it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Replay encoding of the failing schedule; feed it to [`replay`].
+    /// Empty for [`FailureKind::ScheduleLimit`] (no single schedule is
+    /// at fault).
+    pub seed: String,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Schedules executed, the failing one included.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} schedule(s)", self.kind, self.schedules)?;
+        if !self.seed.is_empty() {
+            write!(f, "; replay with seed \"{}\"", self.seed)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// A successful exhaustive exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules explored (all passed).
+    pub schedules: usize,
+}
+
+const SEED_PREFIX: &str = "tcm1";
+const SEED_DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Encode a decision trace as a replayable seed:
+/// `tcm1.p<preemption-bound>.<one base-36 char per multi-option decision>`.
+fn encode_seed(cfg: &Config, decisions: &[Decision]) -> String {
+    let mut out = format!("{SEED_PREFIX}.p{}.", cfg.preemption_bound);
+    for d in decisions {
+        let tid = d.options[d.idx];
+        out.push(SEED_DIGITS[tid] as char);
+    }
+    out
+}
+
+fn decode_seed(seed: &str) -> Result<(usize, Vec<usize>), String> {
+    let mut parts = seed.splitn(3, '.');
+    let (prefix, bound, choices) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(p), Some(b), Some(c)) => (p, b, c),
+        _ => {
+            return Err(format!(
+                "malformed seed {seed:?}: expected tcm1.p<bound>.<choices>"
+            ))
+        }
+    };
+    if prefix != SEED_PREFIX {
+        return Err(format!(
+            "unknown seed format {prefix:?} (expected {SEED_PREFIX:?})"
+        ));
+    }
+    let bound: usize = bound
+        .strip_prefix('p')
+        .and_then(|b| b.parse().ok())
+        .ok_or_else(|| format!("malformed preemption bound in seed {seed:?}"))?;
+    let mut script = Vec::with_capacity(choices.len());
+    for c in choices.chars() {
+        let tid = SEED_DIGITS
+            .iter()
+            .position(|&d| d as char == c)
+            .ok_or_else(|| format!("invalid seed character {c:?} in {seed:?}"))?;
+        script.push(tid);
+    }
+    Ok((bound, script))
+}
+
+/// Exhaustively check `f` under the default [`Config`], panicking with
+/// the failure (seed included) if any schedule fails.
+pub fn check<F: Fn()>(f: F) {
+    check_with(Config::default(), f)
+}
+
+/// [`check`] with explicit exploration limits.
+///
+/// # Panics
+///
+/// Panics with the [`Failure`] display (which names the replay seed) if
+/// any schedule fails or the exploration limits are hit.
+pub fn check_with<F: Fn()>(cfg: Config, f: F) {
+    if let Err(failure) = try_check_with(cfg, f) {
+        panic!("tc-model check failed: {failure}");
+    }
+}
+
+/// [`check_with`] returning the outcome instead of panicking — the form
+/// the regression tests (and the deliberately-racy fixtures) use.
+pub fn try_check_with<F: Fn()>(cfg: Config, f: F) -> Result<Report, Failure> {
+    let mut script: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        if schedules >= cfg.max_schedules {
+            return Err(Failure {
+                seed: String::new(),
+                kind: FailureKind::ScheduleLimit,
+                schedules,
+            });
+        }
+        schedules += 1;
+        let outcome = rt::run_schedule(&cfg, &script, false, &f);
+        if let Some(kind) = outcome.failure {
+            return Err(Failure {
+                seed: encode_seed(&cfg, &outcome.decisions),
+                kind,
+                schedules,
+            });
+        }
+        // DFS advance: deepest decision with an untried option.
+        let d = outcome.decisions;
+        let Some(i) = (0..d.len())
+            .rev()
+            .find(|&i| d[i].idx + 1 < d[i].options.len())
+        else {
+            return Ok(Report { schedules });
+        };
+        script.clear();
+        script.extend(d[..i].iter().map(|dd| dd.options[dd.idx]));
+        script.push(d[i].options[d[i].idx + 1]);
+    }
+}
+
+/// Re-run exactly the schedule a seed describes. Returns the reproduced
+/// [`Failure`] (whose `seed` is byte-identical to the input when the
+/// original failure reproduces), or `Ok` if that schedule passes.
+pub fn replay<F: Fn()>(seed: &str, f: F) -> Result<Report, Failure> {
+    let (bound, script) = match decode_seed(seed) {
+        Ok(v) => v,
+        Err(msg) => {
+            return Err(Failure {
+                seed: seed.to_string(),
+                kind: FailureKind::SeedDiverged(msg),
+                schedules: 0,
+            })
+        }
+    };
+    let cfg = Config {
+        preemption_bound: bound,
+        ..Config::default()
+    };
+    let outcome = rt::run_schedule(&cfg, &script, true, &f);
+    match outcome.failure {
+        Some(kind) => Err(Failure {
+            seed: encode_seed(&cfg, &outcome.decisions),
+            kind,
+            schedules: 1,
+        }),
+        None => Ok(Report { schedules: 1 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+
+    /// Two increments through a mutex: every schedule sees 2.
+    #[test]
+    fn mutex_counter_is_exhaustively_correct() {
+        let report = try_check_with(Config::default(), || {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                *n2.lock() += 1;
+            });
+            *n.lock() += 1;
+            t.join().unwrap();
+            assert_eq!(*n.lock(), 2);
+        })
+        .expect("no schedule should fail");
+        // More than one schedule must have been explored, or the model
+        // never actually interleaved anything.
+        assert!(
+            report.schedules > 1,
+            "explored {} schedules",
+            report.schedules
+        );
+    }
+
+    /// The classic lost update: read-modify-write through a plain
+    /// atomic load/store pair. One preemption is enough to catch it.
+    #[test]
+    fn lost_update_is_caught_and_replays() {
+        let racy = || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let failure = try_check_with(Config::default(), racy).expect_err("the race must be found");
+        assert!(matches!(failure.kind, FailureKind::Panic(_)), "{failure}");
+        assert!(!failure.seed.is_empty());
+        // The seed replays the same failure, byte-identically.
+        let replayed = replay(&failure.seed, racy).expect_err("seed must reproduce the failure");
+        assert_eq!(replayed.kind, failure.kind);
+        assert_eq!(replayed.seed, failure.seed);
+    }
+
+    /// A waiter nobody ever notifies deadlocks — plain `wait` gets no
+    /// timeout rescue.
+    #[test]
+    fn lost_wakeup_deadlocks() {
+        let failure = try_check_with(Config::default(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let guard = pair.0.lock();
+            let _guard = pair.1.wait(guard);
+        })
+        .expect_err("un-notified wait must deadlock");
+        assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    }
+
+    /// `wait_timeout` is rescued when nothing else can run, so the same
+    /// shape completes instead of deadlocking — and reports the timeout.
+    #[test]
+    fn wait_timeout_rescued_not_deadlocked() {
+        try_check_with(Config::default(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let guard = pair.0.lock();
+            let (_guard, timed_out) = pair
+                .1
+                .wait_timeout(guard, std::time::Duration::from_millis(1));
+            assert!(timed_out, "rescue must report a timeout");
+        })
+        .expect("timeout wait must be rescued");
+    }
+
+    /// Notify moves exactly one waiter; the handoff completes under every
+    /// schedule.
+    #[test]
+    fn condvar_handoff_completes() {
+        try_check_with(Config::default(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let mut ready = pair2.0.lock();
+                *ready = true;
+                pair2.1.notify_one();
+            });
+            let mut ready = pair.0.lock();
+            while !*ready {
+                ready = pair.1.wait(ready);
+            }
+            drop(ready);
+            t.join().unwrap();
+        })
+        .expect("handoff must complete in every schedule");
+    }
+
+    /// Scoped spawn with borrows, the `tc_util::steal` shape.
+    #[test]
+    fn scoped_threads_join_implicitly() {
+        try_check_with(Config::default(), || {
+            let n = AtomicUsize::new(0);
+            thread::scope(|s| {
+                s.spawn(|| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+                s.spawn(|| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+        .expect("scope must join both children");
+    }
+
+    /// Outside `check`, every primitive passes through to real std
+    /// behaviour — the facade's normal-build contract.
+    #[test]
+    fn pass_through_outside_model() {
+        let n = Arc::new(Mutex::new(0u32));
+        let n2 = Arc::clone(&n);
+        let t = std::thread::spawn(move || {
+            *n2.lock() += 1;
+        });
+        *n.lock() += 1;
+        t.join().unwrap();
+        assert_eq!(*n.lock(), 2);
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn seed_codec_round_trips() {
+        let cfg = Config::default();
+        let decisions = vec![
+            Decision {
+                options: vec![0, 1],
+                idx: 1,
+            },
+            Decision {
+                options: vec![0, 1, 2],
+                idx: 0,
+            },
+        ];
+        let seed = encode_seed(&cfg, &decisions);
+        assert_eq!(seed, "tcm1.p2.10");
+        let (bound, script) = decode_seed(&seed).unwrap();
+        assert_eq!(bound, 2);
+        assert_eq!(script, vec![1, 0]);
+        assert!(decode_seed("nope").is_err());
+        assert!(decode_seed("tcm1.p2.!").is_err());
+    }
+
+    /// A bogus seed is a typed divergence, not a crash.
+    #[test]
+    fn replay_divergence_is_reported() {
+        let failure = replay("tcm1.p2.11111111", || {
+            let n = Arc::new(AtomicUsize::new(0));
+            n.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect_err("seed does not match this closure");
+        assert!(
+            matches!(failure.kind, FailureKind::SeedDiverged(_)),
+            "{failure}"
+        );
+    }
+
+    /// The step budget turns livelock into a reported failure.
+    #[test]
+    fn step_limit_reported() {
+        let failure = try_check_with(
+            Config {
+                max_steps: 50,
+                ..Config::default()
+            },
+            || {
+                let n = AtomicUsize::new(0);
+                for _ in 0..100 {
+                    n.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+        )
+        .expect_err("must hit the step budget");
+        assert_eq!(failure.kind, FailureKind::StepLimit);
+    }
+}

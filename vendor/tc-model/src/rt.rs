@@ -1,0 +1,708 @@
+//! The serialized-thread scheduler behind [`crate::check`].
+//!
+//! Model threads are real OS threads, but exactly one ever runs at a
+//! time: a token (the `active` thread id) is passed between them at
+//! every instrumented operation, so a whole execution is one
+//! deterministic sequence of *scheduling decisions*. The DFS driver in
+//! [`crate`] re-runs the closure, steering each decision point through
+//! every allowed alternative (subject to the preemption budget), which
+//! enumerates every schedule the model distinguishes.
+//!
+//! All mutable model state — thread statuses, mutex/condvar bookkeeping,
+//! the decision trace — lives inside one `std::sync::Mutex<Sched>`.
+//! Instrumented primitives keep only an object id; their state is a map
+//! entry in here. The instrumented `Mutex<T>` additionally wraps a real
+//! `std::sync::Mutex<T>` for the data itself, so the shims stay
+//! safe-Rust and still provide genuine exclusion when used *outside* a
+//! model execution (pass-through mode).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+use crate::{Config, FailureKind};
+
+/// A model thread id. Thread 0 is the checked closure itself.
+pub(crate) type Tid = usize;
+/// Identity of an instrumented primitive (allocation order, global).
+pub(crate) type ObjId = usize;
+
+/// Panic payload used to unwind every still-live model thread once a
+/// schedule has failed (or exploration is abandoned). Never observed by
+/// user code: the thread shims catch it.
+pub(crate) struct Abandon;
+
+/// Most model threads a single execution may register. Seeds encode one
+/// base-36 character per decision, so thread ids must stay below 36;
+/// real model tests use a handful.
+pub(crate) const MAX_THREADS: usize = 36;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Has the logical right to run when granted the token.
+    Runnable,
+    /// Waiting to acquire the mutex; *enabled* whenever it is unlocked
+    /// (acquisition happens at grant time, inside the scheduler).
+    BlockedMutex(ObjId),
+    /// Parked on a condvar; never enabled until notified (or, for
+    /// `timeout` waiters, rescued when nothing else can run).
+    BlockedCv {
+        cv: ObjId,
+        mutex: ObjId,
+        timeout: bool,
+    },
+    /// Waiting for another model thread to finish.
+    BlockedJoin(Tid),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    /// Signalled (under the scheduler lock) when this thread may need to
+    /// re-check whether it holds the token.
+    wake: StdArc<StdCondvar>,
+    /// Whether the last condvar wait ended by timeout rescue rather than
+    /// a notification.
+    cv_timed_out: bool,
+    /// Set while the thread is in scope-teardown join: it waits for its
+    /// children passively and must be skipped by abandon-mode grants
+    /// (handing it the token would strand the children it waits for).
+    teardown: bool,
+}
+
+#[derive(Default)]
+struct MutexState {
+    locked: bool,
+}
+
+#[derive(Default)]
+struct CvState {
+    waiters: VecDeque<Tid>,
+}
+
+/// One recorded branch point: the enabled-thread options that were on
+/// offer (post preemption filtering, current-thread first) and which
+/// index was taken. Only multi-option points are recorded — forced moves
+/// replay for free.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    pub options: Vec<Tid>,
+    pub idx: usize,
+}
+
+/// Scheduler state for one schedule (one run of the closure).
+pub(crate) struct Sched {
+    threads: Vec<ThreadState>,
+    active: Tid,
+    mutexes: HashMap<ObjId, MutexState>,
+    condvars: HashMap<ObjId, CvState>,
+    decisions: Vec<Decision>,
+    script: Vec<Tid>,
+    script_pos: usize,
+    /// Replay mode: a script mismatch is a reported divergence, not an
+    /// internal bug.
+    strict_script: bool,
+    preemptions: usize,
+    steps: usize,
+    cfg: Config,
+    /// Set once a failure is recorded; every subsequent token grant makes
+    /// the granted thread unwind with [`Abandon`].
+    failing: bool,
+    failure: Option<FailureKind>,
+    complete: bool,
+}
+
+pub(crate) type Handle = StdArc<StdMutex<Sched>>;
+
+thread_local! {
+    /// The execution this OS thread is participating in, if any.
+    static CURRENT: RefCell<Option<(Handle, Tid)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Handle, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True while this OS thread is a registered model thread. Instrumented
+/// primitives pass straight through to std behaviour otherwise.
+pub(crate) fn in_execution() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn lock(h: &Handle) -> std::sync::MutexGuard<'_, Sched> {
+    h.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Global id source for instrumented primitives. Ids only key per-schedule
+/// state maps, so cross-schedule drift is harmless; within a schedule,
+/// allocation order is deterministic because execution is serialized.
+static NEXT_OBJ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+pub(crate) fn new_obj_id() -> ObjId {
+    NEXT_OBJ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Sched {
+    fn new(cfg: Config, script: Vec<Tid>, strict_script: bool) -> Sched {
+        let mut s = Sched {
+            threads: Vec::new(),
+            active: 0,
+            mutexes: HashMap::new(),
+            condvars: HashMap::new(),
+            decisions: Vec::new(),
+            script,
+            script_pos: 0,
+            strict_script,
+            preemptions: 0,
+            steps: 0,
+            cfg,
+            failing: false,
+            failure: None,
+            complete: false,
+        };
+        s.register_thread(); // tid 0: the checked closure
+        s
+    }
+
+    fn register_thread(&mut self) -> Tid {
+        let tid = self.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "tc-model: execution registered more than {MAX_THREADS} threads"
+        );
+        self.threads.push(ThreadState {
+            status: Status::Runnable,
+            wake: StdArc::new(StdCondvar::new()),
+            cv_timed_out: false,
+            teardown: false,
+        });
+        tid
+    }
+
+    fn enabled(&self, tid: Tid) -> bool {
+        match self.threads[tid].status {
+            Status::Runnable => true,
+            Status::BlockedMutex(m) => !self.mutexes[&m].locked,
+            Status::BlockedCv { .. } => false,
+            Status::BlockedJoin(t) => self.threads[t].status == Status::Finished,
+            Status::Finished => false,
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    fn fail(&mut self, kind: FailureKind) {
+        if self.failure.is_none() {
+            self.failure = Some(kind);
+        }
+        self.failing = true;
+    }
+
+    /// One instrumented operation happened; enforce the per-schedule step
+    /// budget so a livelocked model fails loudly instead of spinning.
+    fn count_step(&mut self) {
+        self.steps += 1;
+        if self.steps > self.cfg.max_steps {
+            self.fail(FailureKind::StepLimit);
+        }
+    }
+
+    fn notify_everyone(&self) {
+        for t in &self.threads {
+            t.wake.notify_all();
+        }
+    }
+
+    /// Failing mode: grant the token to the lowest-numbered live thread
+    /// so it can unwind; declare the schedule complete once none remain.
+    /// Teardown-joining threads are skipped — they run without the token
+    /// once their children are done — but everyone is notified so their
+    /// passive waits re-check.
+    fn grant_abandon(&mut self) {
+        let live_worker = (0..self.threads.len())
+            .find(|&t| self.threads[t].status != Status::Finished && !self.threads[t].teardown);
+        match live_worker {
+            Some(t) => {
+                self.active = t;
+                self.notify_everyone();
+            }
+            None => {
+                if self.all_finished() {
+                    self.complete = true;
+                }
+                // Either complete, or only teardown joiners remain and
+                // every thread they wait on is finished; wake them all.
+                self.notify_everyone();
+            }
+        }
+    }
+
+    /// The core decision point: pick the next thread to run and hand it
+    /// the token. `cur` is the thread giving the token up (it may win it
+    /// straight back).
+    fn schedule_next(&mut self, cur: Tid) {
+        if self.failing {
+            self.grant_abandon();
+            return;
+        }
+        loop {
+            let enabled: Vec<Tid> = (0..self.threads.len())
+                .filter(|&t| self.enabled(t))
+                .collect();
+            if enabled.is_empty() {
+                // Timeout rescue: `wait_timeout` waiters are modeled as
+                // blocked (their timeout "has not elapsed") for as long
+                // as anything else can run. Once nothing can, the
+                // timeouts fire — all of them — which is exactly the
+                // role a real timeout plays: progress insurance, not a
+                // wakeup path. Plain `wait` waiters get no rescue, so a
+                // lost notification still shows up as a deadlock.
+                let rescued: Vec<(Tid, ObjId, ObjId)> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, th)| match th.status {
+                        Status::BlockedCv {
+                            cv,
+                            mutex,
+                            timeout: true,
+                        } => Some((t, cv, mutex)),
+                        _ => None,
+                    })
+                    .collect();
+                if !rescued.is_empty() {
+                    for (t, cv, mutex) in rescued {
+                        if let Some(state) = self.condvars.get_mut(&cv) {
+                            state.waiters.retain(|&w| w != t);
+                        }
+                        self.threads[t].status = Status::BlockedMutex(mutex);
+                        self.threads[t].cv_timed_out = true;
+                    }
+                    continue;
+                }
+                if self.all_finished() {
+                    self.complete = true;
+                    self.notify_everyone();
+                } else {
+                    self.fail(FailureKind::Deadlock);
+                    self.grant_abandon();
+                }
+                return;
+            }
+
+            let cur_enabled = enabled.contains(&cur);
+            let options: Vec<Tid> = if cur_enabled && self.preemptions >= self.cfg.preemption_bound
+            {
+                // Budget spent: the running thread must continue.
+                vec![cur]
+            } else if cur_enabled {
+                // Current thread first, so the no-preemption schedule is
+                // explored first and seeds stay short.
+                let mut v = vec![cur];
+                v.extend(enabled.iter().copied().filter(|&t| t != cur));
+                v
+            } else {
+                enabled
+            };
+
+            let idx = if options.len() == 1 {
+                0
+            } else {
+                match self.pick(&options) {
+                    Some(i) => i,
+                    None => {
+                        // Divergence failure already recorded.
+                        self.grant_abandon();
+                        return;
+                    }
+                }
+            };
+            let chosen = options[idx];
+            if options.len() > 1 {
+                self.decisions.push(Decision { options, idx });
+            }
+            if cur_enabled && chosen != cur {
+                self.preemptions += 1;
+            }
+            self.grant(chosen);
+            return;
+        }
+    }
+
+    /// Pick among `options` (len > 1): follow the script while it lasts,
+    /// then take the first (DFS-leftmost) branch.
+    fn pick(&mut self, options: &[Tid]) -> Option<usize> {
+        if self.script_pos < self.script.len() {
+            let want = self.script[self.script_pos];
+            self.script_pos += 1;
+            match options.iter().position(|&t| t == want) {
+                Some(i) => Some(i),
+                None => {
+                    let msg = if self.strict_script {
+                        format!(
+                            "seed chose thread {want} at decision {} but the enabled set is {options:?}",
+                            self.script_pos - 1
+                        )
+                    } else {
+                        format!(
+                            "schedule diverged while revisiting a DFS prefix (decision {}, wanted thread {want}, enabled {options:?}); the checked closure is not deterministic — remove wall-clock, RNG, or ambient-I/O dependence",
+                            self.script_pos - 1
+                        )
+                    };
+                    self.fail(FailureKind::SeedDiverged(msg));
+                    None
+                }
+            }
+        } else {
+            Some(0)
+        }
+    }
+
+    /// Hand the token to `chosen`, resolving whatever it was blocked on.
+    fn grant(&mut self, chosen: Tid) {
+        match self.threads[chosen].status {
+            Status::Runnable => {}
+            Status::BlockedMutex(m) => {
+                let state = self.mutexes.get_mut(&m).expect("mutex state exists");
+                debug_assert!(!state.locked, "granted a mutex waiter while locked");
+                state.locked = true;
+                self.threads[chosen].status = Status::Runnable;
+            }
+            Status::BlockedJoin(_) => self.threads[chosen].status = Status::Runnable,
+            Status::BlockedCv { .. } | Status::Finished => {
+                unreachable!("granted a thread that is not enabled")
+            }
+        }
+        self.active = chosen;
+        self.threads[chosen].wake.notify_all();
+    }
+
+    fn finish_thread(&mut self, tid: Tid) {
+        self.threads[tid].status = Status::Finished;
+        self.schedule_next(tid);
+        // Teardown joiners wait for a *finish*, not a grant; make sure
+        // they observe this one whatever the scheduler decided.
+        self.notify_everyone();
+    }
+}
+
+/// Park the calling OS thread until the scheduler hands it the token (or
+/// tells it to unwind because the schedule is being abandoned).
+fn block_until_active(h: &Handle, tid: Tid) {
+    let mut s = lock(h);
+    loop {
+        if s.active == tid && s.threads[tid].status != Status::Finished {
+            if s.failing {
+                drop(s);
+                std::panic::panic_any(Abandon);
+            }
+            debug_assert_eq!(s.threads[tid].status, Status::Runnable);
+            return;
+        }
+        let wake = StdArc::clone(&s.threads[tid].wake);
+        s = wake.wait(s).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// An instrumented no-data operation: give the scheduler a chance to run
+/// someone else. No-op outside an execution, and during unwinding (a
+/// `Drop` running while panicking must not re-enter the scheduler).
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((h, tid)) = current() else { return };
+    {
+        let mut s = lock(&h);
+        if s.failing {
+            drop(s);
+            std::panic::panic_any(Abandon);
+        }
+        s.count_step();
+        s.schedule_next(tid);
+    }
+    block_until_active(&h, tid);
+}
+
+/// Block until the model mutex `id` is acquired *by this thread*. The
+/// wait itself is the scheduling point: a thread wanting a free mutex is
+/// simply an enabled thread, so every acquisition order is explored.
+pub(crate) fn mutex_lock(id: ObjId) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((h, tid)) = current() else { return };
+    {
+        let mut s = lock(&h);
+        if s.failing {
+            drop(s);
+            std::panic::panic_any(Abandon);
+        }
+        s.count_step();
+        s.mutexes.entry(id).or_default();
+        s.threads[tid].status = Status::BlockedMutex(id);
+        s.schedule_next(tid);
+    }
+    block_until_active(&h, tid);
+}
+
+/// Non-blocking acquire attempt; the attempt itself is a scheduling
+/// point. Returns whether the mutex was acquired.
+pub(crate) fn mutex_try_lock(id: ObjId) -> bool {
+    if std::thread::panicking() {
+        return true;
+    }
+    if !in_execution() {
+        return true;
+    }
+    yield_point();
+    let Some((h, _tid)) = current() else {
+        return true;
+    };
+    let mut s = lock(&h);
+    let state = s.mutexes.entry(id).or_default();
+    if state.locked {
+        false
+    } else {
+        state.locked = true;
+        true
+    }
+}
+
+/// Release bookkeeping for model mutex `id`. A pure state change — the
+/// releasing thread keeps the token, and the next contender is picked at
+/// its next scheduling point. Safe to call while unwinding.
+pub(crate) fn mutex_unlock(id: ObjId) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((h, _tid)) = current() else { return };
+    let mut s = lock(&h);
+    if let Some(state) = s.mutexes.get_mut(&id) {
+        state.locked = false;
+    }
+}
+
+/// Atomically release mutex `mutex`, park on condvar `cv`, and re-acquire
+/// the mutex once notified (or once the modeled timeout fires, for
+/// `timeout` waits). Returns whether the wait timed out.
+pub(crate) fn cv_wait(cv: ObjId, mutex: ObjId, timeout: bool) -> bool {
+    let Some((h, tid)) = current() else {
+        return false;
+    };
+    {
+        let mut s = lock(&h);
+        if s.failing {
+            drop(s);
+            std::panic::panic_any(Abandon);
+        }
+        s.count_step();
+        if let Some(state) = s.mutexes.get_mut(&mutex) {
+            state.locked = false;
+        }
+        s.condvars.entry(cv).or_default().waiters.push_back(tid);
+        s.threads[tid].status = Status::BlockedCv { cv, mutex, timeout };
+        s.threads[tid].cv_timed_out = false;
+        s.schedule_next(tid);
+    }
+    block_until_active(&h, tid);
+    let s = lock(&h);
+    s.threads[tid].cv_timed_out
+}
+
+/// Wake waiters on condvar `cv`. A scheduling point (notifiers need not
+/// hold the paired mutex, so the pre-notify interleaving is reachable).
+/// Woken waiters move to the mutex-reacquire queue, FIFO.
+pub(crate) fn cv_notify(cv: ObjId, all: bool) {
+    if std::thread::panicking() {
+        return;
+    }
+    if !in_execution() {
+        return;
+    }
+    yield_point();
+    let Some((h, _tid)) = current() else { return };
+    let mut s = lock(&h);
+    loop {
+        let Some(state) = s.condvars.get_mut(&cv) else {
+            return;
+        };
+        let Some(w) = state.waiters.pop_front() else {
+            return;
+        };
+        let Status::BlockedCv { mutex, .. } = s.threads[w].status else {
+            unreachable!("condvar waiter queue out of sync")
+        };
+        s.threads[w].status = Status::BlockedMutex(mutex);
+        if !all {
+            return;
+        }
+    }
+}
+
+/// Register a child model thread (runnable, not yet granted). Returns
+/// `None` outside an execution.
+pub(crate) fn register_child() -> Option<(Handle, Tid)> {
+    let (h, _tid) = current()?;
+    let tid = lock(&h).register_thread();
+    Some((h, tid))
+}
+
+/// Body run on a child model thread's OS thread: wait for the first
+/// grant, run `f`, then hand the token on. Returns `None` when the
+/// schedule was abandoned (or `f` panicked — recorded as the failure).
+pub(crate) fn run_child<T>(h: Handle, tid: Tid, f: impl FnOnce() -> T) -> Option<T> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        block_until_active(&h, tid);
+        CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&h), tid)));
+        f()
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut s = lock(&h);
+    match result {
+        Ok(v) => {
+            s.finish_thread(tid);
+            drop(s);
+            Some(v)
+        }
+        Err(payload) => {
+            if !payload.is::<Abandon>() {
+                s.fail(FailureKind::Panic(panic_message(&payload)));
+            }
+            s.finish_thread(tid);
+            drop(s);
+            None
+        }
+    }
+}
+
+/// Wait for model thread `child` to finish. No-op outside an execution
+/// and when the child is already done.
+pub(crate) fn join_model(child: Tid) {
+    let Some((h, tid)) = current() else { return };
+    {
+        let mut s = lock(&h);
+        if s.failing {
+            drop(s);
+            std::panic::panic_any(Abandon);
+        }
+        if s.threads[child].status == Status::Finished {
+            return;
+        }
+        s.count_step();
+        s.threads[tid].status = Status::BlockedJoin(child);
+        s.schedule_next(tid);
+    }
+    block_until_active(&h, tid);
+}
+
+/// Scope-teardown variant of [`join_model`]: never unwinds. In a normal
+/// schedule it behaves like a model join; once the schedule is being
+/// abandoned it degrades to passively waiting for the child to finish
+/// (the scope owner must survive to run the `std::thread::scope`
+/// implicit join, or abandoned children would strand it OS-level).
+pub(crate) fn join_teardown(child: Tid) {
+    let Some((h, tid)) = current() else { return };
+    {
+        let mut s = lock(&h);
+        if !s.failing {
+            if s.threads[child].status == Status::Finished {
+                return;
+            }
+            s.count_step();
+            if !s.failing {
+                s.threads[tid].status = Status::BlockedJoin(child);
+                s.schedule_next(tid);
+            }
+        }
+    }
+    let mut s = lock(&h);
+    s.threads[tid].teardown = true;
+    loop {
+        let child_done = s.threads[child].status == Status::Finished;
+        if s.failing {
+            if s.active == tid {
+                // The token was aimed at us before the teardown flag was
+                // visible; pass it along to a thread that can unwind.
+                s.grant_abandon();
+            }
+            if child_done {
+                break;
+            }
+        } else if child_done && s.active == tid && s.threads[tid].status == Status::Runnable {
+            break;
+        }
+        let wake = StdArc::clone(&s.threads[tid].wake);
+        s = wake.wait(s).unwrap_or_else(PoisonError::into_inner);
+    }
+    s.threads[tid].teardown = false;
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The outcome of one schedule.
+pub(crate) struct Outcome {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<FailureKind>,
+}
+
+/// Run the closure once under the scheduler, steering multi-option
+/// decisions through `script` first and DFS-leftmost after.
+pub(crate) fn run_schedule(
+    cfg: &Config,
+    script: &[Tid],
+    strict_script: bool,
+    f: &dyn Fn(),
+) -> Outcome {
+    assert!(
+        !in_execution(),
+        "tc-model: nested model executions are not supported"
+    );
+    let h: Handle = StdArc::new(StdMutex::new(Sched::new(
+        cfg.clone(),
+        script.to_vec(),
+        strict_script,
+    )));
+    CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&h), 0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    {
+        let mut s = lock(&h);
+        if let Err(payload) = result {
+            if !payload.is::<Abandon>() {
+                s.fail(FailureKind::Panic(panic_message(&payload)));
+            }
+        }
+        s.finish_thread(0);
+    }
+    // The closure is done, but spawned-but-unjoined model threads may
+    // still be draining (or unwinding). Wait for the schedule to settle.
+    let mut s = lock(&h);
+    while !s.complete {
+        let wake = StdArc::clone(&s.threads[0].wake);
+        s = wake.wait(s).unwrap_or_else(PoisonError::into_inner);
+    }
+    let mut failure = s.failure.take();
+    if failure.is_none() && s.strict_script && s.script_pos < s.script.len() {
+        failure = Some(FailureKind::SeedDiverged(format!(
+            "schedule completed after {} of {} seed decisions",
+            s.script_pos,
+            s.script.len()
+        )));
+    }
+    Outcome {
+        decisions: std::mem::take(&mut s.decisions),
+        failure,
+    }
+}

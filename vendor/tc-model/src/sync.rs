@@ -1,0 +1,310 @@
+//! Instrumented lookalikes of the std sync primitives.
+//!
+//! Inside a [`crate::check`] execution every operation is a scheduling
+//! point; outside one they pass straight through to the wrapped std
+//! primitive, so code built against them behaves normally. The API is
+//! the non-poisoning (parking_lot-style) shape the workspace facade
+//! `tc_util::sync` exposes: `lock()` returns a guard, `try_lock()` an
+//! `Option`, condvar waits return the guard (plus a timed-out flag for
+//! [`Condvar::wait_timeout`]).
+
+use crate::rt;
+use std::sync::PoisonError;
+
+pub mod atomic;
+
+/// Mutual exclusion with every acquisition a scheduling point.
+///
+/// The data itself lives in a real `std::sync::Mutex`, which the model
+/// bookkeeping keeps uncontended during an execution; outside one it
+/// simply *is* the lock.
+pub struct Mutex<T> {
+    id: std::sync::OnceLock<rt::ObjId>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: std::sync::OnceLock::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn id(&self) -> rt::ObjId {
+        *self.id.get_or_init(rt::new_obj_id)
+    }
+
+    /// Acquires the mutex, blocking the model thread until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::mutex_lock(self.id());
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    /// Attempts the acquisition without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if !rt::mutex_try_lock(self.id()) {
+            return None;
+        }
+        match self.inner.try_lock() {
+            Ok(inner) => Some(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // Only reachable in pass-through mode (the model grants
+                // exclusively); undo nothing — model bookkeeping was a
+                // no-op there.
+                None
+            }
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop. The release is a pure
+/// bookkeeping change (never a scheduling point), which keeps drops
+/// during unwinding safe.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(std_g) = self.inner.take() {
+            drop(std_g);
+            rt::mutex_unlock(self.lock.id());
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+///
+/// In the model, a plain [`Condvar::wait`] is only woken by a
+/// notification — a lost wakeup is an observable deadlock. A
+/// [`Condvar::wait_timeout`] is additionally "rescued" (its timeout
+/// fires) when no other thread can make progress, which is the role a
+/// real timeout plays without making the state space infinite.
+pub struct Condvar {
+    id: std::sync::OnceLock<rt::ObjId>,
+    std_cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condvar with no waiters.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: std::sync::OnceLock::new(),
+            std_cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn id(&self) -> rt::ObjId {
+        *self.id.get_or_init(rt::new_obj_id)
+    }
+
+    /// Releases the guard, blocks until notified, re-acquires.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        let std_g = guard.inner.take().expect("guard still holds the lock");
+        if rt::in_execution() {
+            drop(std_g); // model bookkeeping owns the blocking
+            rt::cv_wait(self.id(), lock.id(), false);
+            let inner = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+            }
+        } else {
+            let inner = self
+                .std_cv
+                .wait(std_g)
+                .unwrap_or_else(PoisonError::into_inner);
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+            }
+        }
+    }
+
+    /// [`Condvar::wait`] with a timeout; the flag reports whether the
+    /// wait ended by timeout rather than notification.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let lock = guard.lock;
+        let std_g = guard.inner.take().expect("guard still holds the lock");
+        if rt::in_execution() {
+            drop(std_g);
+            let timed_out = rt::cv_wait(self.id(), lock.id(), true);
+            let inner = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                },
+                timed_out,
+            )
+        } else {
+            let (inner, res) = self
+                .std_cv
+                .wait_timeout(std_g, dur)
+                .unwrap_or_else(PoisonError::into_inner);
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                },
+                res.timed_out(),
+            )
+        }
+    }
+
+    /// Wakes one waiter (FIFO in the model, like a fair queue).
+    pub fn notify_one(&self) {
+        if rt::in_execution() {
+            rt::cv_notify(self.id(), false);
+        } else {
+            self.std_cv.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if rt::in_execution() {
+            rt::cv_notify(self.id(), true);
+        } else {
+            self.std_cv.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Reference-counted pointer whose clone and drop are scheduling points
+/// (publication and release order are part of the explored schedule).
+pub struct Arc<T: ?Sized>(std::sync::Arc<T>);
+
+impl<T> Arc<T> {
+    /// Moves `value` behind a shared reference count.
+    pub fn new(value: T) -> Arc<T> {
+        Arc(std::sync::Arc::new(value))
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    /// The number of strong references (used by the cache's pin check).
+    pub fn strong_count(this: &Arc<T>) -> usize {
+        std::sync::Arc::strong_count(&this.0)
+    }
+
+    /// Whether two `Arc`s point at the same allocation.
+    pub fn ptr_eq(this: &Arc<T>, other: &Arc<T>) -> bool {
+        std::sync::Arc::ptr_eq(&this.0, &other.0)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Arc<T> {
+        rt::yield_point();
+        Arc(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        // yield_point is already a no-op while panicking, keeping
+        // unwind-time drops safe.
+        rt::yield_point();
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> AsRef<T> for Arc<T> {
+    fn as_ref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl<T: Default> Default for Arc<T> {
+    fn default() -> Arc<T> {
+        Arc::new(T::default())
+    }
+}

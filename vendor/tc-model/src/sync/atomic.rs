@@ -1,0 +1,119 @@
+//! Instrumented atomics: every operation is a scheduling point, then
+//! delegates to the wrapped std atomic. The model serializes execution,
+//! so all orderings behave as `SeqCst` — the checker explores
+//! interleavings of operations, not weak-memory reorderings.
+
+use crate::rt;
+pub use std::sync::atomic::Ordering;
+
+macro_rules! instrumented_atomic {
+    ($name:ident, $std:ty, $value:ty) => {
+        /// Instrumented counterpart of the std atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name($std);
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $value) -> $name {
+                $name(<$std>::new(v))
+            }
+
+            /// Loads the value (a scheduling point).
+            pub fn load(&self, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.load(order)
+            }
+
+            /// Stores a value (a scheduling point).
+            pub fn store(&self, v: $value, order: Ordering) {
+                rt::yield_point();
+                self.0.store(v, order);
+            }
+
+            /// Swaps in a value, returning the previous one.
+            pub fn swap(&self, v: $value, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.swap(v, order)
+            }
+
+            /// Compare-and-exchange, std semantics.
+            pub fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                rt::yield_point();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+
+            /// Returns the value without instrumentation (requires `&mut`,
+            /// so no other thread can observe it anyway).
+            pub fn get_mut(&mut self) -> &mut $value {
+                self.0.get_mut()
+            }
+
+            /// Unwraps the inner value.
+            pub fn into_inner(self) -> $value {
+                self.0.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! instrumented_atomic_int {
+    ($name:ident, $std:ty, $value:ty) => {
+        instrumented_atomic!($name, $std, $value);
+
+        impl $name {
+            /// Adds, returning the previous value.
+            pub fn fetch_add(&self, v: $value, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.fetch_add(v, order)
+            }
+
+            /// Subtracts, returning the previous value.
+            pub fn fetch_sub(&self, v: $value, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.fetch_sub(v, order)
+            }
+
+            /// Bitwise-ors, returning the previous value.
+            pub fn fetch_or(&self, v: $value, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.fetch_or(v, order)
+            }
+
+            /// Bitwise-ands, returning the previous value.
+            pub fn fetch_and(&self, v: $value, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.fetch_and(v, order)
+            }
+
+            /// Stores the maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $value, order: Ordering) -> $value {
+                rt::yield_point();
+                self.0.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+instrumented_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+instrumented_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicBool {
+    /// Bitwise-ors, returning the previous value.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        rt::yield_point();
+        self.0.fetch_or(v, order)
+    }
+
+    /// Bitwise-ands, returning the previous value.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        rt::yield_point();
+        self.0.fetch_and(v, order)
+    }
+}

@@ -1,0 +1,155 @@
+//! Instrumented `thread::spawn` / `thread::scope` shims.
+//!
+//! Inside a [`crate::check`] execution, spawned closures become model
+//! threads: real OS threads that only run while holding the scheduler
+//! token. Outside one, these forward to `std::thread`.
+//!
+//! The scoped API mirrors `std::thread::scope` closely enough for the
+//! workspace's call sites, with one difference forced by lifetimes: the
+//! closure receives `&Scope<'scope, '_>` rather than
+//! `&'scope Scope<'scope, '_>`, so a `Scope` cannot be smuggled into its
+//! own spawned children (spawn from the scope-owning thread only).
+
+use crate::rt;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Explicit scheduling point (`std::thread::yield_now` outside a model
+/// execution).
+pub fn yield_now() {
+    if rt::in_execution() {
+        rt::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Owned handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    tid: Option<rt::Tid>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. In the
+    /// model this is a blocking scheduling point; a panicked or
+    /// abandoned child surfaces as `Err`, as with std.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.tid {
+            rt::join_model(tid);
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => {
+                Err(Box::new("tc-model: thread abandoned")
+                    as Box<dyn std::any::Any + Send + 'static>)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns a model thread (std thread outside an execution).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::register_child() {
+        None => JoinHandle {
+            inner: std::thread::spawn(move || Some(f())),
+            tid: None,
+        },
+        Some((h, tid)) => {
+            let inner = std::thread::spawn(move || rt::run_child(h, tid, f));
+            // Spawn is itself a scheduling point: the child may run
+            // before the parent's next instruction.
+            rt::yield_point();
+            JoinHandle {
+                inner,
+                tid: Some(tid),
+            }
+        }
+    }
+}
+
+/// Scope for spawning threads that borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    /// Children spawned through this scope, model-joined at scope exit
+    /// so the std implicit join can never block the scheduler token.
+    children: RefCell<Vec<rt::Tid>>,
+}
+
+/// Owned handle to a thread spawned through a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    tid: Option<rt::Tid>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.tid {
+            rt::join_model(tid);
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => {
+                Err(Box::new("tc-model: thread abandoned")
+                    as Box<dyn std::any::Any + Send + 'static>)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a borrowing model thread; implicitly joined at scope exit
+    /// if the handle is dropped.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match rt::register_child() {
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(move || Some(f())),
+                tid: None,
+            },
+            Some((h, tid)) => {
+                let inner = self.inner.spawn(move || rt::run_child(h, tid, f));
+                self.children.borrow_mut().push(tid);
+                rt::yield_point();
+                ScopedJoinHandle {
+                    inner,
+                    tid: Some(tid),
+                }
+            }
+        }
+    }
+}
+
+/// `std::thread::scope` lookalike: every child is model-joined before
+/// the underlying std scope performs its OS-level implicit join, even
+/// when the scope body unwinds (schedule abandonment included) — the
+/// token must keep moving or the children could never finish.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|inner| {
+        let wrapper = Scope {
+            inner,
+            children: RefCell::new(Vec::new()),
+        };
+        let out = catch_unwind(AssertUnwindSafe(|| f(&wrapper)));
+        for tid in wrapper.children.take() {
+            rt::join_teardown(tid);
+        }
+        match out {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
